@@ -1,0 +1,84 @@
+package cvm
+
+// F64Array is a shared array of float64 values.
+type F64Array struct {
+	Base Addr
+	Len  int
+}
+
+// MustAllocF64 allocates a shared float64 array of n elements.
+func (c *Cluster) MustAllocF64(name string, n int) F64Array {
+	return F64Array{Base: c.MustAlloc(name, n*8), Len: n}
+}
+
+// At returns the address of element i.
+func (a F64Array) At(i int) Addr { return a.Base + Addr(i)*8 }
+
+// Get reads element i through w.
+func (a F64Array) Get(w *Worker, i int) float64 { return w.ReadF64(a.At(i)) }
+
+// Set writes element i through w.
+func (a F64Array) Set(w *Worker, i int, v float64) { w.WriteF64(a.At(i), v) }
+
+// Add adds v to element i through w (a read-modify-write; guard with a
+// lock or partition ownership when threads share elements).
+func (a F64Array) Add(w *Worker, i int, v float64) {
+	w.WriteF64(a.At(i), w.ReadF64(a.At(i))+v)
+}
+
+// I64Array is a shared array of int64 values.
+type I64Array struct {
+	Base Addr
+	Len  int
+}
+
+// MustAllocI64 allocates a shared int64 array of n elements.
+func (c *Cluster) MustAllocI64(name string, n int) I64Array {
+	return I64Array{Base: c.MustAlloc(name, n*8), Len: n}
+}
+
+// At returns the address of element i.
+func (a I64Array) At(i int) Addr { return a.Base + Addr(i)*8 }
+
+// Get reads element i through w.
+func (a I64Array) Get(w *Worker, i int) int64 { return w.ReadI64(a.At(i)) }
+
+// Set writes element i through w.
+func (a I64Array) Set(w *Worker, i int, v int64) { w.WriteI64(a.At(i), v) }
+
+// F64Matrix is a shared row-major matrix of float64 values. Stride is the
+// row stride in elements; when rows are page-padded, Stride exceeds Cols
+// so each row starts on a page boundary (the layout the paper's
+// applications use to control false sharing).
+type F64Matrix struct {
+	Base   Addr
+	Rows   int
+	Cols   int
+	Stride int
+}
+
+// MustAllocF64Matrix allocates a rows×cols shared matrix. When padRows is
+// set, each row is padded to a whole number of pages, eliminating
+// cross-row false sharing at the cost of space.
+func (c *Cluster) MustAllocF64Matrix(name string, rows, cols int, padRows bool) F64Matrix {
+	stride := cols
+	if padRows {
+		perPage := c.sys.Config().PageSize / 8
+		stride = (cols + perPage - 1) / perPage * perPage
+	}
+	return F64Matrix{
+		Base:   c.MustAlloc(name, rows*stride*8),
+		Rows:   rows,
+		Cols:   cols,
+		Stride: stride,
+	}
+}
+
+// At returns the address of element (r, c).
+func (m F64Matrix) At(r, c int) Addr { return m.Base + Addr(r*m.Stride+c)*8 }
+
+// Get reads element (r, c) through w.
+func (m F64Matrix) Get(w *Worker, r, c int) float64 { return w.ReadF64(m.At(r, c)) }
+
+// Set writes element (r, c) through w.
+func (m F64Matrix) Set(w *Worker, r, c int, v float64) { w.WriteF64(m.At(r, c), v) }

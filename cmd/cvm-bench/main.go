@@ -1,0 +1,146 @@
+// Command cvm-bench regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	cvm-bench -experiment all -size small
+//	cvm-bench -experiment fig1
+//	cvm-bench -experiment table5 -size paper
+//
+// Experiments: costs, fig1, table2, table3, fig2, table4, table5, ablation, protocols, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cvm/internal/apps"
+	"cvm/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cvm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "all",
+			"experiment to regenerate: costs, fig1, table2, table3, fig2, table4, table5, ablation, protocols, all")
+		size    = flag.String("size", "small", "input scale: test, small, paper")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+		nodes16 = flag.Bool("with16", true, "include 16-node runs in table4")
+	)
+	flag.Parse()
+
+	sz, err := apps.ParseSize(*size)
+	if err != nil {
+		return err
+	}
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	out := os.Stdout
+
+	want := func(name string) bool { return *experiment == name || *experiment == "all" }
+
+	if want("costs") {
+		c, err := harness.MeasureCosts()
+		if err != nil {
+			return err
+		}
+		harness.WriteCosts(out, c)
+		fmt.Fprintln(out)
+	}
+
+	// Figure 1, Tables 2-3 and Figure 2 share one grid over 4 and 8
+	// nodes at 1-4 threads.
+	if want("fig1") || want("table2") || want("table3") || want("fig2") {
+		res, err := harness.RunGrid(harness.AppOrder, sz,
+			harness.GridShapes([]int{4, 8}, harness.ThreadLevels), progress)
+		if err != nil {
+			return err
+		}
+		if want("fig1") {
+			harness.WriteFigure1(out, res, harness.AppOrder, []int{4, 8}, harness.ThreadLevels)
+			fmt.Fprintln(out)
+		}
+		if want("table2") {
+			harness.WriteTable2(out, res, harness.AppOrder, 8, harness.ThreadLevels)
+			fmt.Fprintln(out)
+		}
+		if want("table3") {
+			harness.WriteTable3(out, res, harness.AppOrder, 8, harness.ThreadLevels)
+			fmt.Fprintln(out)
+		}
+		if want("fig2") {
+			harness.WriteFigure2(out, res, harness.AppOrder, 8, harness.ThreadLevels)
+			fmt.Fprintln(out)
+		}
+	}
+
+	if want("table4") {
+		nodeCounts := []int{4, 8}
+		if *nodes16 {
+			nodeCounts = append(nodeCounts, 16)
+		}
+		// Barnes is excluded in the paper ("will not run with our
+		// default input size on sixteen processors").
+		names := []string{"fft", "ocean", "sor", "swm750", "watersp", "waternsq"}
+		res, err := harness.RunGrid(names, sz,
+			harness.GridShapes(nodeCounts, []int{1, 2, 4}), progress)
+		if err != nil {
+			return err
+		}
+		harness.WriteTable4(out, res, names, nodeCounts, []int{2, 4})
+		fmt.Fprintln(out)
+	}
+
+	if want("ablation") {
+		for _, ab := range []struct {
+			title string
+			run   func(string, apps.Size) ([]harness.AblationRow, error)
+		}{
+			{"thread-switch cost sweep (paper limiting factor #5)", harness.AblationSwitchCost},
+			{"wire latency sweep (the multi-threading premise)", harness.AblationWireLatency},
+		} {
+			rows, err := ab.run("waternsq", sz)
+			if err != nil {
+				return err
+			}
+			harness.WriteAblation(out, ab.title, rows)
+			fmt.Fprintln(out)
+		}
+		sched, err := harness.AblationScheduler("sor", sz)
+		if err != nil {
+			return err
+		}
+		harness.WriteSchedulerAblation(out, sched)
+		fmt.Fprintln(out)
+	}
+
+	if want("protocols") {
+		rows, err := harness.CompareProtocols(harness.AppOrder, sz, 8, 2, progress)
+		if err != nil {
+			return err
+		}
+		harness.WriteProtocols(out, rows, 8, 2)
+		fmt.Fprintln(out)
+	}
+
+	if want("table5") {
+		rows, err := harness.Table5(sz, 8, harness.ThreadLevels, progress)
+		if err != nil {
+			return err
+		}
+		harness.WriteTable5(out, rows)
+		fmt.Fprintln(out)
+	}
+
+	return nil
+}

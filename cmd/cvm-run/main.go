@@ -1,0 +1,78 @@
+// Command cvm-run executes one application of the paper's suite on a
+// simulated CVM cluster and prints its statistics.
+//
+// Usage:
+//
+//	cvm-run -app sor -nodes 8 -threads 2 -size small
+//
+// Applications: barnes, fft, ocean, sor, swm750, watersp, waternsq,
+// waternsq-noopts, waternsq-localbarrier. Sizes: test, small, paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"cvm/internal/apps"
+	"cvm/internal/netsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cvm-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appName = flag.String("app", "sor", "application: "+strings.Join(apps.Names(), ", "))
+		nodes   = flag.Int("nodes", 8, "number of nodes (processors)")
+		threads = flag.Int("threads", 1, "application threads per node")
+		size    = flag.String("size", "small", "input scale: test, small, paper")
+	)
+	flag.Parse()
+
+	sz, err := apps.ParseSize(*size)
+	if err != nil {
+		return err
+	}
+	st, err := apps.Run(*appName, sz, *nodes, *threads)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on %d nodes x %d threads (%s input): result verified against sequential reference\n\n",
+		*appName, *nodes, *threads, *size)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "steady-state wall time\t%v\n", st.Wall)
+	fmt.Fprintf(tw, "user time (all nodes)\t%v\n", st.Total.UserTime)
+	fmt.Fprintf(tw, "barrier wait\t%v\n", st.Total.BarrierWait)
+	fmt.Fprintf(tw, "fault wait\t%v\n", st.Total.FaultWait)
+	fmt.Fprintf(tw, "lock wait\t%v\n", st.Total.LockWait)
+	fmt.Fprintln(tw)
+	fmt.Fprintf(tw, "thread switches\t%d\n", st.Total.ThreadSwitches)
+	fmt.Fprintf(tw, "remote faults\t%d\n", st.Total.RemoteFaults)
+	fmt.Fprintf(tw, "remote locks\t%d\n", st.Total.RemoteLocks)
+	fmt.Fprintf(tw, "outstanding faults\t%d\n", st.Total.OutstandingFaults)
+	fmt.Fprintf(tw, "outstanding locks\t%d\n", st.Total.OutstandingLocks)
+	fmt.Fprintf(tw, "block same page\t%d\n", st.Total.BlockSamePage)
+	fmt.Fprintf(tw, "block same lock\t%d\n", st.Total.BlockSameLock)
+	fmt.Fprintf(tw, "diffs created\t%d\n", st.Total.DiffsCreated)
+	fmt.Fprintf(tw, "diffs used\t%d\n", st.Total.DiffsUsed)
+	fmt.Fprintln(tw)
+	fmt.Fprintf(tw, "messages (barrier/lock/diff)\t%d / %d / %d\n",
+		st.Net.Msgs[netsim.ClassBarrier], st.Net.Msgs[netsim.ClassLock],
+		st.Net.Msgs[netsim.ClassDiff])
+	fmt.Fprintf(tw, "total messages\t%d\n", st.Net.TotalMsgs())
+	fmt.Fprintf(tw, "bandwidth\t%d KB\n", st.Net.TotalBytes()/1024)
+	fmt.Fprintln(tw)
+	fmt.Fprintf(tw, "D-cache misses\t%d\n", st.MemTotal.DCacheMisses)
+	fmt.Fprintf(tw, "D-TLB misses\t%d\n", st.MemTotal.DTLBMisses)
+	fmt.Fprintf(tw, "I-TLB misses\t%d\n", st.MemTotal.ITLBMisses)
+	return tw.Flush()
+}

@@ -1,0 +1,138 @@
+// Package cvm is a Go implementation of CVM, the multi-threaded software
+// distributed shared memory system of Thitikamol & Keleher, "Multi-threading
+// and Remote Latency in Software DSMs" (ICDCS 1997).
+//
+// CVM emulates shared memory over message passing using a multiple-writer
+// lazy release consistency protocol: shared pages are replicated per node,
+// writes are collected against twins and shipped as diffs, and consistency
+// information piggybacks on lock and barrier messages. The paper's
+// contribution — reproduced here — is per-node multi-threading: several
+// application threads share each node, and the runtime switches threads
+// whenever one blocks on a remote page fetch or lock acquire, hiding remote
+// latency behind useful local work.
+//
+// Because Go's runtime owns the address space (no user-level SIGSEGV
+// paging), the cluster is simulated: a deterministic discrete-event engine
+// runs one green thread at a time in virtual-time order, with network and
+// memory-hierarchy costs calibrated to the paper's measured numbers
+// (937 µs two-hop locks, ~1100 µs remote page faults, 8 µs thread switches).
+// Every protocol action — twins, diffs, write notices, local lock queues,
+// per-node barrier aggregation — is implemented in full; see DESIGN.md.
+//
+// # Quick start
+//
+//	cluster, err := cvm.New(cvm.DefaultConfig(4, 2)) // 4 nodes × 2 threads
+//	if err != nil { ... }
+//	data := cluster.MustAllocF64("data", 1<<16)
+//	stats, err := cluster.Run(func(w *cvm.Worker) {
+//	    chunk := data.Len / w.Threads()
+//	    for i := w.GlobalID() * chunk; i < (w.GlobalID()+1)*chunk; i++ {
+//	        data.Set(w, i, float64(i))
+//	    }
+//	    w.Barrier(0)
+//	})
+package cvm
+
+import (
+	"fmt"
+
+	"cvm/internal/core"
+	"cvm/internal/memsim"
+	"cvm/internal/netsim"
+	"cvm/internal/sim"
+)
+
+// Re-exported core types. Worker is the handle application code uses for
+// shared-memory accesses and synchronization; see its methods in
+// internal/core.Thread.
+type (
+	// Worker is one application thread (the paper's unit of
+	// multi-threading).
+	Worker = core.Thread
+	// Addr is a byte offset in the shared address space.
+	Addr = core.Addr
+	// Config parameterizes the simulated cluster.
+	Config = core.Config
+	// Stats aggregates a run's statistics.
+	Stats = core.RunStats
+	// NodeStats are per-node DSM counters and the Figure-1 time breakdown.
+	NodeStats = core.NodeStats
+	// ReduceOp selects a reduction operator.
+	ReduceOp = core.ReduceOp
+	// Protocol selects the coherence protocol.
+	Protocol = core.Protocol
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// NetParams are interconnect cost parameters.
+	NetParams = netsim.Params
+	// MemParams are cache/TLB geometry parameters.
+	MemParams = memsim.Params
+)
+
+// Re-exported constants.
+const (
+	ReduceSum = core.ReduceSum
+	ReduceMax = core.ReduceMax
+	ReduceMin = core.ReduceMin
+
+	// ProtocolLRC is the paper's lazy multi-writer protocol (default).
+	ProtocolLRC = core.ProtocolLRC
+	// ProtocolSW is the single-writer write-invalidate baseline.
+	ProtocolSW = core.ProtocolSW
+
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// DefaultConfig returns the paper's calibrated cluster configuration for
+// the given shape.
+func DefaultConfig(nodes, threadsPerNode int) Config {
+	return core.DefaultConfig(nodes, threadsPerNode)
+}
+
+// Cluster is a simulated CVM cluster ready to allocate shared memory and
+// run an application.
+type Cluster struct {
+	sys *core.System
+}
+
+// New builds a cluster from cfg.
+func New(cfg Config) (*Cluster, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{sys: sys}, nil
+}
+
+// System exposes the underlying DSM system for tools and tests.
+func (c *Cluster) System() *core.System { return c.sys }
+
+// Alloc reserves a page-aligned shared segment.
+func (c *Cluster) Alloc(name string, size int) (Addr, error) {
+	return c.sys.Alloc(name, size)
+}
+
+// MustAlloc is Alloc, panicking on error. Allocation errors are
+// programming errors (allocating after Run, or a non-positive size), so
+// examples and applications use this form.
+func (c *Cluster) MustAlloc(name string, size int) Addr {
+	a, err := c.sys.Alloc(name, size)
+	if err != nil {
+		panic(fmt.Sprintf("cvm: %v", err))
+	}
+	return a
+}
+
+// Run spawns Nodes × ThreadsPerNode workers executing main, runs the
+// simulation to completion, and returns the collected statistics.
+func (c *Cluster) Run(main func(*Worker)) (Stats, error) {
+	if err := c.sys.Start(main); err != nil {
+		return Stats{}, err
+	}
+	if err := c.sys.Run(); err != nil {
+		return Stats{}, err
+	}
+	return c.sys.Stats(), nil
+}

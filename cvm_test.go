@@ -1,0 +1,139 @@
+package cvm
+
+import (
+	"testing"
+)
+
+func TestClusterQuickstart(t *testing.T) {
+	cluster, err := New(DefaultConfig(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := cluster.MustAllocF64("data", 4096)
+	var sum float64
+	stats, err := cluster.Run(func(w *Worker) {
+		chunk := data.Len / w.Threads()
+		lo := w.GlobalID() * chunk
+		for i := lo; i < lo+chunk; i++ {
+			data.Set(w, i, float64(i))
+		}
+		w.Barrier(0)
+		if w.GlobalID() == 0 {
+			for i := 0; i < data.Len; i++ {
+				sum += data.Get(w, i)
+			}
+		}
+		w.Barrier(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(4095 * 4096 / 2)
+	if sum != want {
+		t.Errorf("sum = %v, want %v", sum, want)
+	}
+	if stats.Wall <= 0 {
+		t.Errorf("wall = %v, want > 0", stats.Wall)
+	}
+	if stats.Total.RemoteFaults == 0 {
+		t.Error("expected remote faults from the gather phase")
+	}
+}
+
+func TestF64ArrayAddrs(t *testing.T) {
+	a := F64Array{Base: 128, Len: 10}
+	if a.At(0) != 128 || a.At(3) != 152 {
+		t.Errorf("At = %d,%d want 128,152", a.At(0), a.At(3))
+	}
+}
+
+func TestI64Array(t *testing.T) {
+	cluster, err := New(DefaultConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := cluster.MustAllocI64("ints", 16)
+	var got int64
+	if _, err := cluster.Run(func(w *Worker) {
+		if w.GlobalID() == 0 {
+			arr.Set(w, 5, -77)
+		}
+		w.Barrier(0)
+		if w.GlobalID() == 1 {
+			got = arr.Get(w, 5)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != -77 {
+		t.Errorf("got %d, want -77", got)
+	}
+}
+
+func TestMatrixPadding(t *testing.T) {
+	cluster, err := New(DefaultConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageElems := DefaultConfig(1, 1).PageSize / 8
+	m := cluster.MustAllocF64Matrix("padded", 4, 10, true)
+	if m.Stride != pageElems {
+		t.Errorf("padded stride = %d, want %d", m.Stride, pageElems)
+	}
+	u := cluster.MustAllocF64Matrix("unpadded", 4, 10, false)
+	if u.Stride != 10 {
+		t.Errorf("unpadded stride = %d, want 10", u.Stride)
+	}
+	// Rows of the padded matrix land on distinct pages.
+	p0 := int64(m.At(0, 0)) / int64(DefaultConfig(1, 1).PageSize)
+	p1 := int64(m.At(1, 0)) / int64(DefaultConfig(1, 1).PageSize)
+	if p0 == p1 {
+		t.Error("padded rows share a page")
+	}
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	cluster, err := New(DefaultConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cluster.MustAllocF64Matrix("m", 8, 8, false)
+	bad := false
+	if _, err := cluster.Run(func(w *Worker) {
+		for r := w.GlobalID(); r < m.Rows; r += w.Threads() {
+			for c := 0; c < m.Cols; c++ {
+				m.Set(w, r, c, float64(r*100+c))
+			}
+		}
+		w.Barrier(0)
+		for r := 0; r < m.Rows; r++ {
+			c := w.GlobalID() % m.Cols
+			if m.Get(w, r, c) != float64(r*100+c) {
+				bad = true
+			}
+		}
+		w.Barrier(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Error("matrix element mismatch after barrier")
+	}
+}
+
+func TestMustAllocPanicsAfterRun(t *testing.T) {
+	cluster, err := New(DefaultConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.MustAlloc("a", 64)
+	if _, err := cluster.Run(func(w *Worker) {}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAlloc after Run did not panic")
+		}
+	}()
+	cluster.MustAlloc("b", 64)
+}

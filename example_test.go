@@ -1,0 +1,82 @@
+package cvm_test
+
+import (
+	"fmt"
+	"log"
+
+	"cvm"
+)
+
+// ExampleCluster demonstrates the basic shared-memory workflow: allocate,
+// write on one thread, synchronize with a barrier, read everywhere. The
+// simulation is deterministic, so the output is exact.
+func ExampleCluster() {
+	cluster, err := cvm.New(cvm.DefaultConfig(2, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := cluster.MustAllocF64("data", 8)
+
+	_, err = cluster.Run(func(w *cvm.Worker) {
+		if w.GlobalID() == 0 {
+			data.Set(w, 0, 42)
+		}
+		w.Barrier(0)
+		if w.GlobalID() == w.Threads()-1 {
+			fmt.Println("last thread reads", data.Get(w, 0))
+		}
+		w.Barrier(1)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: last thread reads 42
+}
+
+// ExampleWorker_ReduceF64 shows CVM's built-in reduction: one message
+// pair per node regardless of the per-node threading level.
+func ExampleWorker_ReduceF64() {
+	cluster, err := cvm.New(cvm.DefaultConfig(4, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.MustAlloc("pad", 64)
+
+	_, err = cluster.Run(func(w *cvm.Worker) {
+		sum := w.ReduceF64(0, float64(w.GlobalID()+1), cvm.ReduceSum)
+		if w.GlobalID() == 0 {
+			fmt.Println("sum of 1..8 =", sum)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: sum of 1..8 = 36
+}
+
+// ExampleWorker_Lock shows mutual exclusion: the lock grant carries the
+// write notices that make the previous holder's update visible.
+func ExampleWorker_Lock() {
+	cluster, err := cvm.New(cvm.DefaultConfig(4, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	counter := cluster.MustAllocI64("counter", 1)
+
+	_, err = cluster.Run(func(w *cvm.Worker) {
+		for i := 0; i < 3; i++ {
+			w.Lock(1)
+			counter.Set(w, 0, counter.Get(w, 0)+1)
+			w.Unlock(1)
+		}
+		w.Barrier(0)
+		if w.GlobalID() == 0 {
+			fmt.Println("counter =", counter.Get(w, 0))
+		}
+		w.Barrier(1)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: counter = 12
+}

@@ -1,0 +1,3 @@
+module cvm
+
+go 1.22

@@ -1,0 +1,180 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"barnes", "fft", "ocean", "sor", "swm750",
+		"waternsq", "waternsq-localbarrier", "waternsq-noopts", "watersp"}
+	got := Names()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	if _, err := New("nosuch", SizeTest); err == nil {
+		t.Error("New(nosuch) succeeded, want error")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Size
+		ok   bool
+	}{
+		{"test", SizeTest, true},
+		{"small", SizeSmall, true},
+		{"paper", SizePaper, true},
+		{"huge", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := ParseSize(tt.in)
+		if (err == nil) != tt.ok || got != tt.want {
+			t.Errorf("ParseSize(%q) = %v, %v", tt.in, got, err)
+		}
+	}
+}
+
+func TestChunkOf(t *testing.T) {
+	tests := []struct {
+		n, threads, id int
+		lo, hi         int
+	}{
+		{10, 4, 0, 0, 3},
+		{10, 4, 1, 3, 6},
+		{10, 4, 2, 6, 8},
+		{10, 4, 3, 8, 10},
+		{8, 8, 7, 7, 8},
+		{3, 8, 5, 3, 3}, // more threads than items: empty chunk
+	}
+	for _, tt := range tests {
+		lo, hi := chunkOf(tt.n, tt.threads, tt.id)
+		if lo != tt.lo || hi != tt.hi {
+			t.Errorf("chunkOf(%d,%d,%d) = [%d,%d), want [%d,%d)",
+				tt.n, tt.threads, tt.id, lo, hi, tt.lo, tt.hi)
+		}
+	}
+	// Chunks must partition the range.
+	for _, n := range []int{1, 7, 64, 1000} {
+		for _, th := range []int{1, 3, 8, 32} {
+			prev := 0
+			for id := 0; id < th; id++ {
+				lo, hi := chunkOf(n, th, id)
+				if lo != prev {
+					t.Fatalf("chunkOf(%d,%d,%d) gap: lo=%d, want %d", n, th, id, lo, prev)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("chunkOf(%d,%d) covers %d, want %d", n, th, prev, n)
+			}
+		}
+	}
+}
+
+// TestAllAppsCorrectAllShapes is the master correctness matrix: every
+// application must reproduce its sequential reference checksum on every
+// cluster shape the paper uses.
+func TestAllAppsCorrectAllShapes(t *testing.T) {
+	shapes := []struct{ nodes, threads int }{
+		{1, 1}, {2, 2}, {4, 1}, {4, 2}, {4, 3}, {4, 4}, {8, 2},
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, sh := range shapes {
+				app, err := New(name, SizeTest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !app.SupportsThreads(sh.threads) {
+					continue
+				}
+				if _, err := Run(name, SizeTest, sh.nodes, sh.threads); err != nil {
+					t.Fatalf("%dx%d: %v", sh.nodes, sh.threads, err)
+				}
+			}
+		})
+	}
+}
+
+func TestOceanRejectsThreeThreads(t *testing.T) {
+	app, err := New("ocean", SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.SupportsThreads(3) {
+		t.Error("ocean claims to support 3 threads; the paper says it cannot")
+	}
+	if !app.SupportsThreads(1) || !app.SupportsThreads(2) || !app.SupportsThreads(4) {
+		t.Error("ocean must support power-of-two threads")
+	}
+	if _, err := Run("ocean", SizeTest, 4, 3); err == nil {
+		t.Error("Run(ocean, 3 threads) succeeded, want error")
+	}
+}
+
+func TestAppProfilesMatchPaper(t *testing.T) {
+	// The paper's Table 1: which apps use locks, which are barrier-only.
+	barrierOnly := []string{"barnes", "fft", "sor", "swm750"}
+	lockUsing := []string{"ocean", "watersp", "waternsq"}
+
+	for _, name := range barrierOnly {
+		st, err := Run(name, SizeTest, 4, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Total.RemoteLocks != 0 {
+			t.Errorf("%s: remote locks = %d, want 0 (barrier-only)", name, st.Total.RemoteLocks)
+		}
+	}
+	for _, name := range lockUsing {
+		st, err := Run(name, SizeTest, 4, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Total.RemoteLocks == 0 {
+			t.Errorf("%s: remote locks = 0, want > 0 (lock-using)", name)
+		}
+	}
+}
+
+func TestWaterNsqVariantsDiffer(t *testing.T) {
+	// The local-barrier variants must aggregate: far fewer remote lock
+	// episodes than NoOpts at the same threading level, and no
+	// Block-Same-Lock (Table 5's most dramatic column).
+	noOpts, err := Run("waternsq-noopts", SizeTest, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Run("waternsq", SizeTest, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Total.BlockSameLock != 0 {
+		t.Errorf("Both-opts BlockSameLock = %d, want 0 (Table 5)", both.Total.BlockSameLock)
+	}
+	if noOpts.Total.BlockSameLock == 0 {
+		t.Error("NoOpts BlockSameLock = 0, want > 0 (Table 5)")
+	}
+}
+
+func TestDeterministicStats(t *testing.T) {
+	for _, name := range []string{"sor", "waternsq"} {
+		a, err := Run(name, SizeTest, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(name, SizeTest, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Total != b.Total || a.Wall != b.Wall {
+			t.Errorf("%s: runs differ:\n%+v\n%+v", name, a.Total, b.Total)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package apps
+
+import (
+	"math"
+	"sort"
+
+	"cvm"
+)
+
+// Barnes is the paper's modified gravitational N-body simulation: unlike
+// SPLASH-2 Barnes, it uses only barrier synchronization — shared updates
+// that SPLASH guards with locks are partitioned among the threads. The
+// hierarchical tree is approximated by a uniform grid of cells whose
+// summaries (total mass and centre of mass) stand in for internal tree
+// nodes: every thread reads all summaries each iteration (the all-to-all
+// read sharing that makes Barnes fault-bound) plus the exact bodies of its
+// own cells.
+type Barnes struct {
+	bodies int
+	grid   int // grid dimension; cells = grid²
+	iters  int
+
+	pos  cvm.F64Matrix // bodies × (x, y)
+	vel  cvm.F64Matrix // bodies × (vx, vy)
+	mass cvm.F64Array
+	cell cvm.F64Matrix // cells × (mass, cx, cy)
+
+	cellOf []int // body → cell, fixed at init (bodies sorted by cell)
+	starts []int // cell → first body index
+
+	// Deterministic initial state shared by the DSM run and the
+	// sequential reference.
+	initX, initY, initM []float64
+
+	checksum float64
+}
+
+func init() {
+	register("barnes", func(size Size) App { return NewBarnes(size) })
+}
+
+// NewBarnes builds the Barnes instance for an input scale (paper: 10240
+// particles).
+func NewBarnes(size Size) *Barnes {
+	switch size {
+	case SizeTest:
+		return &Barnes{bodies: 192, grid: 4, iters: 2}
+	case SizePaper:
+		return &Barnes{bodies: 10240, grid: 16, iters: 4}
+	default:
+		return &Barnes{bodies: 1024, grid: 8, iters: 3}
+	}
+}
+
+// Name implements App.
+func (b *Barnes) Name() string { return "barnes" }
+
+// SupportsThreads implements App.
+func (b *Barnes) SupportsThreads(int) bool { return true }
+
+// Setup implements App.
+func (b *Barnes) Setup(c *cvm.Cluster) error {
+	cells := b.grid * b.grid
+	b.pos = c.MustAllocF64Matrix("barnes.pos", b.bodies, 2, false)
+	b.vel = c.MustAllocF64Matrix("barnes.vel", b.bodies, 2, false)
+	b.mass = c.MustAllocF64("barnes.mass", b.bodies)
+	b.cell = c.MustAllocF64Matrix("barnes.cell", cells, 3, false)
+
+	// Deterministic placement, bodies sorted by cell so each cell's
+	// bodies are a contiguous range owned by one thread.
+	type placed struct {
+		x, y, m float64
+		cell    int
+	}
+	r := lcg(23)
+	bodies := make([]placed, b.bodies)
+	for i := range bodies {
+		x, y := r.next(), r.next()
+		cx := int(x * float64(b.grid))
+		cy := int(y * float64(b.grid))
+		bodies[i] = placed{x: x, y: y, m: 0.5 + r.next(), cell: cx*b.grid + cy}
+	}
+	sort.SliceStable(bodies, func(i, j int) bool { return bodies[i].cell < bodies[j].cell })
+
+	b.cellOf = make([]int, b.bodies)
+	b.starts = make([]int, cells+1)
+	b.initX = make([]float64, b.bodies)
+	b.initY = make([]float64, b.bodies)
+	b.initM = make([]float64, b.bodies)
+	for i, bd := range bodies {
+		b.cellOf[i] = bd.cell
+		b.initX[i], b.initY[i], b.initM[i] = bd.x, bd.y, bd.m
+	}
+	for c := 1; c <= cells; c++ {
+		b.starts[c] = sort.SearchInts(b.cellOf, c)
+	}
+	return nil
+}
+
+// Main implements App.
+func (b *Barnes) Main(w *cvm.Worker) {
+	if w.GlobalID() == 0 {
+		for i := 0; i < b.bodies; i++ {
+			b.pos.Set(w, i, 0, b.initX[i])
+			b.pos.Set(w, i, 1, b.initY[i])
+			b.mass.Set(w, i, b.initM[i])
+		}
+	}
+	w.Barrier(0)
+	if w.GlobalID() == 0 {
+		w.MarkSteadyState()
+	}
+	w.Barrier(1)
+
+	cells := b.grid * b.grid
+	bLo, bHi := chunkOf(b.bodies, w.Threads(), w.GlobalID())
+	cLo, cHi := chunkOf(cells, w.Threads(), w.GlobalID())
+	bar := 10
+
+	for it := 0; it < b.iters; it++ {
+		// Build phase: summarize owned cells (partitioned writes).
+		w.Phase(1)
+		for c := cLo; c < cHi; c++ {
+			var m, mx, my float64
+			for i := b.starts[c]; i < b.starts[c+1]; i++ {
+				bm := b.mass.Get(w, i)
+				m += bm
+				mx += bm * b.pos.Get(w, i, 0)
+				my += bm * b.pos.Get(w, i, 1)
+			}
+			b.cell.Set(w, c, 0, m)
+			if m > 0 {
+				b.cell.Set(w, c, 1, mx/m)
+				b.cell.Set(w, c, 2, my/m)
+			} else {
+				b.cell.Set(w, c, 1, 0)
+				b.cell.Set(w, c, 2, 0)
+			}
+		}
+		w.Barrier(bar)
+		bar++
+
+		// Force phase: every thread reads every cell summary plus the
+		// exact bodies of its own cell, then integrates its bodies.
+		w.Phase(2)
+		for i := bLo; i < bHi; i++ {
+			xi, yi := b.pos.Get(w, i, 0), b.pos.Get(w, i, 1)
+			var fx, fy float64
+			my := b.cellOf[i]
+			for c := 0; c < cells; c++ {
+				if c == my {
+					continue
+				}
+				m := b.cell.Get(w, c, 0)
+				if m == 0 {
+					continue
+				}
+				dx := b.cell.Get(w, c, 1) - xi
+				dy := b.cell.Get(w, c, 2) - yi
+				inv := 1 / math.Sqrt(dx*dx+dy*dy+1e-3)
+				f := m * inv * inv * inv
+				fx += f * dx
+				fy += f * dy
+			}
+			for j := b.starts[my]; j < b.starts[my+1]; j++ {
+				if j == i {
+					continue
+				}
+				dx := b.pos.Get(w, j, 0) - xi
+				dy := b.pos.Get(w, j, 1) - yi
+				inv := 1 / math.Sqrt(dx*dx+dy*dy+1e-3)
+				f := b.mass.Get(w, j) * inv * inv * inv
+				fx += f * dx
+				fy += f * dy
+			}
+			w.Compute(cvm.Time(cells+b.starts[my+1]-b.starts[my]) * 30)
+			b.vel.Set(w, i, 0, b.vel.Get(w, i, 0)+1e-5*fx)
+			b.vel.Set(w, i, 1, b.vel.Get(w, i, 1)+1e-5*fy)
+		}
+		w.Barrier(bar)
+		bar++
+
+		// Integrate positions of owned bodies.
+		w.Phase(3)
+		for i := bLo; i < bHi; i++ {
+			b.pos.Set(w, i, 0, b.pos.Get(w, i, 0)+b.vel.Get(w, i, 0))
+			b.pos.Set(w, i, 1, b.pos.Get(w, i, 1)+b.vel.Get(w, i, 1))
+		}
+		w.Barrier(bar)
+		bar++
+	}
+
+	if w.GlobalID() == 0 {
+		sum := 0.0
+		for i := 0; i < b.bodies; i++ {
+			sum += b.pos.Get(w, i, 0) + b.pos.Get(w, i, 1)
+		}
+		b.checksum = sum
+	}
+	w.Barrier(9999)
+}
+
+// Check implements App.
+func (b *Barnes) Check() error {
+	return checkClose("barnes", b.checksum, b.reference())
+}
+
+func (b *Barnes) reference() float64 {
+	n := b.bodies
+	cells := b.grid * b.grid
+	x := append([]float64(nil), b.initX...)
+	y := append([]float64(nil), b.initY...)
+	vx := make([]float64, n)
+	vy := make([]float64, n)
+	cm := make([]float64, cells)
+	cx := make([]float64, cells)
+	cy := make([]float64, cells)
+	for it := 0; it < b.iters; it++ {
+		for c := 0; c < cells; c++ {
+			var m, mx, my float64
+			for i := b.starts[c]; i < b.starts[c+1]; i++ {
+				m += b.initM[i]
+				mx += b.initM[i] * x[i]
+				my += b.initM[i] * y[i]
+			}
+			cm[c] = m
+			if m > 0 {
+				cx[c], cy[c] = mx/m, my/m
+			} else {
+				cx[c], cy[c] = 0, 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			var fx, fy float64
+			my := b.cellOf[i]
+			for c := 0; c < cells; c++ {
+				if c == my || cm[c] == 0 {
+					continue
+				}
+				dx := cx[c] - x[i]
+				dy := cy[c] - y[i]
+				inv := 1 / math.Sqrt(dx*dx+dy*dy+1e-3)
+				f := cm[c] * inv * inv * inv
+				fx += f * dx
+				fy += f * dy
+			}
+			for j := b.starts[my]; j < b.starts[my+1]; j++ {
+				if j == i {
+					continue
+				}
+				dx := x[j] - x[i]
+				dy := y[j] - y[i]
+				inv := 1 / math.Sqrt(dx*dx+dy*dy+1e-3)
+				f := b.initM[j] * inv * inv * inv
+				fx += f * dx
+				fy += f * dy
+			}
+			vx[i] += 1e-5 * fx
+			vy[i] += 1e-5 * fy
+		}
+		for i := 0; i < n; i++ {
+			x[i] += vx[i]
+			y[i] += vy[i]
+		}
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += x[i] + y[i]
+	}
+	return sum
+}

@@ -1,0 +1,41 @@
+package apps
+
+import (
+	"fmt"
+
+	"cvm"
+)
+
+// Run builds the named application at the given scale, executes it on a
+// fresh cluster with the paper's default calibration, validates the
+// result against the sequential reference, and returns the run statistics.
+func Run(name string, size Size, nodes, threadsPerNode int) (cvm.Stats, error) {
+	return RunConfig(name, size, cvm.DefaultConfig(nodes, threadsPerNode))
+}
+
+// RunConfig is Run with an explicit cluster configuration.
+func RunConfig(name string, size Size, cfg cvm.Config) (cvm.Stats, error) {
+	app, err := New(name, size)
+	if err != nil {
+		return cvm.Stats{}, err
+	}
+	if !app.SupportsThreads(cfg.ThreadsPerNode) {
+		return cvm.Stats{}, fmt.Errorf("apps: %s does not support %d threads per node",
+			name, cfg.ThreadsPerNode)
+	}
+	cluster, err := cvm.New(cfg)
+	if err != nil {
+		return cvm.Stats{}, err
+	}
+	if err := app.Setup(cluster); err != nil {
+		return cvm.Stats{}, err
+	}
+	stats, err := cluster.Run(app.Main)
+	if err != nil {
+		return cvm.Stats{}, fmt.Errorf("apps: %s run: %w", name, err)
+	}
+	if err := app.Check(); err != nil {
+		return cvm.Stats{}, fmt.Errorf("apps: %s check: %w", name, err)
+	}
+	return stats, nil
+}

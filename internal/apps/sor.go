@@ -1,0 +1,143 @@
+package apps
+
+import (
+	"fmt"
+
+	"cvm"
+)
+
+// SOR is red-black successive over-relaxation with nearest-neighbour
+// communication, the paper's simplest application: barrier-only, near
+// linear speedup, almost no remote latency to hide. Rows are sized to
+// whole pages so — as in the paper — no page is shared by both a local
+// thread and a remote node, and local threads never block on the same
+// remote request after initialization.
+type SOR struct {
+	rows, cols, iters int
+
+	grid     cvm.F64Matrix
+	checksum float64
+}
+
+func init() {
+	register("sor", func(size Size) App { return NewSOR(size) })
+}
+
+// NewSOR builds the SOR instance for an input scale. The paper's input is
+// 2048×2048.
+func NewSOR(size Size) *SOR {
+	switch size {
+	case SizeTest:
+		return &SOR{rows: 18, cols: 1024, iters: 2}
+	case SizePaper:
+		return &SOR{rows: 2048, cols: 2048, iters: 10}
+	default:
+		return &SOR{rows: 66, cols: 1024, iters: 4}
+	}
+}
+
+// Name implements App.
+func (s *SOR) Name() string { return "sor" }
+
+// SupportsThreads implements App.
+func (s *SOR) SupportsThreads(int) bool { return true }
+
+// Setup implements App.
+func (s *SOR) Setup(c *cvm.Cluster) error {
+	if s.rows < 3 || s.cols < 3 {
+		return fmt.Errorf("sor: grid %dx%d too small", s.rows, s.cols)
+	}
+	s.grid = c.MustAllocF64Matrix("sor.grid", s.rows, s.cols, true)
+	return nil
+}
+
+// Main implements App.
+func (s *SOR) Main(w *cvm.Worker) {
+	g := s.grid
+	if w.GlobalID() == 0 {
+		r := lcg(1)
+		for i := 0; i < s.rows; i++ {
+			for j := 0; j < s.cols; j++ {
+				g.Set(w, i, j, sorInit(&r, i, j, s.rows, s.cols))
+			}
+		}
+	}
+	w.Barrier(0)
+	if w.GlobalID() == 0 {
+		w.MarkSteadyState()
+	}
+	w.Barrier(1)
+
+	lo, hi := chunkOf(s.rows-2, w.Threads(), w.GlobalID())
+	lo, hi = lo+1, hi+1 // interior rows only
+
+	for it := 0; it < s.iters; it++ {
+		for color := 0; color < 2; color++ {
+			w.Phase(1 + color)
+			for i := lo; i < hi; i++ {
+				for j := 1 + (i+color)%2; j < s.cols-1; j += 2 {
+					v := 0.25 * (g.Get(w, i-1, j) + g.Get(w, i+1, j) +
+						g.Get(w, i, j-1) + g.Get(w, i, j+1))
+					g.Set(w, i, j, v)
+				}
+			}
+			w.Barrier(10 + 2*it + color)
+		}
+	}
+
+	if w.GlobalID() == 0 {
+		w.Phase(3)
+		sum := 0.0
+		for i := 0; i < s.rows; i++ {
+			for j := 0; j < s.cols; j++ {
+				sum += g.Get(w, i, j)
+			}
+		}
+		s.checksum = sum
+	}
+	w.Barrier(9999)
+}
+
+// Check implements App.
+func (s *SOR) Check() error {
+	return checkClose("sor", s.checksum, s.reference())
+}
+
+// reference runs the identical relaxation sequentially.
+func (s *SOR) reference() float64 {
+	grid := make([][]float64, s.rows)
+	r := lcg(1)
+	for i := range grid {
+		grid[i] = make([]float64, s.cols)
+		for j := range grid[i] {
+			grid[i][j] = sorInit(&r, i, j, s.rows, s.cols)
+		}
+	}
+	for it := 0; it < s.iters; it++ {
+		for color := 0; color < 2; color++ {
+			for i := 1; i < s.rows-1; i++ {
+				for j := 1 + (i+color)%2; j < s.cols-1; j += 2 {
+					grid[i][j] = 0.25 * (grid[i-1][j] + grid[i+1][j] +
+						grid[i][j-1] + grid[i][j+1])
+				}
+			}
+		}
+	}
+	sum := 0.0
+	for i := range grid {
+		for j := range grid[i] {
+			sum += grid[i][j]
+		}
+	}
+	return sum
+}
+
+// sorInit gives boundary cells a fixed temperature and interior cells a
+// deterministic pseudo-random value.
+func sorInit(r *lcg, i, j, rows, cols int) float64 {
+	v := r.next()
+	if i == 0 || j == 0 || i == rows-1 || j == cols-1 {
+		return 1
+	}
+	return v
+}

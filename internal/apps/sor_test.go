@@ -1,0 +1,47 @@
+package apps
+
+import "testing"
+
+func TestSORCorrectAcrossShapes(t *testing.T) {
+	shapes := []struct{ nodes, threads int }{
+		{1, 1}, {2, 1}, {4, 1}, {2, 2}, {4, 2}, {2, 3}, {2, 4},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(shapeName(sh.nodes, sh.threads), func(t *testing.T) {
+			if _, err := Run("sor", SizeTest, sh.nodes, sh.threads); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSORNoLockTraffic(t *testing.T) {
+	st, err := Run("sor", SizeTest, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Net.Msgs[1] != 0 { // ClassLock
+		t.Errorf("SOR sent %d lock messages, want 0 (barrier-only)", st.Net.Msgs[1])
+	}
+	if st.Total.RemoteLocks != 0 {
+		t.Errorf("SOR remote locks = %d, want 0", st.Total.RemoteLocks)
+	}
+}
+
+func TestSORNearestNeighbourBlockSamePage(t *testing.T) {
+	// With page-aligned rows, local threads should (almost) never block
+	// on the same remote page — the paper's SOR observation.
+	st, err := Run("sor", SizeSmall, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total.BlockSamePage > st.Total.RemoteFaults/10 {
+		t.Errorf("BlockSamePage = %d of %d remote faults, want rare",
+			st.Total.BlockSamePage, st.Total.RemoteFaults)
+	}
+}
+
+func shapeName(nodes, threads int) string {
+	return string(rune('0'+nodes)) + "x" + string(rune('0'+threads))
+}

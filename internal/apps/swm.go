@@ -1,0 +1,169 @@
+package apps
+
+import (
+	"cvm"
+)
+
+// SWM is the SPEC SWM750 shallow-water benchmark: a two-dimensional
+// finite-difference stencil over several state grids, barrier-only, with
+// the SUIF fork-join runtime overhead the paper observed as increased user
+// time. Rows are stored contiguously (un-padded), so neighbouring
+// partitions share pages — the source of the Block-Same-Page counts the
+// paper reports for SWM750.
+type SWM struct {
+	n     int // grid dimension (paper: 750)
+	iters int
+
+	u, v, p, unew, vnew, pnew cvm.F64Matrix
+
+	checksum float64
+}
+
+func init() {
+	register("swm750", func(size Size) App { return NewSWM(size) })
+}
+
+// NewSWM builds the SWM750 instance for an input scale.
+func NewSWM(size Size) *SWM {
+	switch size {
+	case SizeTest:
+		return &SWM{n: 48, iters: 2}
+	case SizePaper:
+		return &SWM{n: 750, iters: 8}
+	default:
+		return &SWM{n: 192, iters: 4}
+	}
+}
+
+// Name implements App.
+func (s *SWM) Name() string { return "swm750" }
+
+// SupportsThreads implements App.
+func (s *SWM) SupportsThreads(int) bool { return true }
+
+// Setup implements App.
+func (s *SWM) Setup(c *cvm.Cluster) error {
+	s.u = c.MustAllocF64Matrix("swm.u", s.n, s.n, false)
+	s.v = c.MustAllocF64Matrix("swm.v", s.n, s.n, false)
+	s.p = c.MustAllocF64Matrix("swm.p", s.n, s.n, false)
+	s.unew = c.MustAllocF64Matrix("swm.unew", s.n, s.n, false)
+	s.vnew = c.MustAllocF64Matrix("swm.vnew", s.n, s.n, false)
+	s.pnew = c.MustAllocF64Matrix("swm.pnew", s.n, s.n, false)
+	return nil
+}
+
+// Main implements App.
+func (s *SWM) Main(w *cvm.Worker) {
+	n := s.n
+	if w.GlobalID() == 0 {
+		r := lcg(11)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s.u.Set(w, i, j, r.next())
+				s.v.Set(w, i, j, r.next())
+				s.p.Set(w, i, j, 10+r.next())
+			}
+		}
+	}
+	w.Barrier(0)
+	if w.GlobalID() == 0 {
+		w.MarkSteadyState()
+	}
+	w.Barrier(1)
+
+	lo, hi := chunkOf(n, w.Threads(), w.GlobalID())
+	bar := 10
+	const dt = 0.01
+
+	cur := [3]cvm.F64Matrix{s.u, s.v, s.p}
+	next := [3]cvm.F64Matrix{s.unew, s.vnew, s.pnew}
+
+	for it := 0; it < s.iters; it++ {
+		// SUIF fork-join runtime: per-iteration scheduling overhead
+		// charged to every thread (the paper's extra user time).
+		w.Compute(120 * cvm.Microsecond)
+
+		u, v, p := cur[0], cur[1], cur[2]
+		un, vn, pn := next[0], next[1], next[2]
+
+		w.Phase(1)
+		for i := lo; i < hi; i++ {
+			im, ip := (i+n-1)%n, (i+1)%n
+			for j := 0; j < n; j++ {
+				jm, jp := (j+n-1)%n, (j+1)%n
+				pc := p.Get(w, i, j)
+				un.Set(w, i, j, u.Get(w, i, j)-dt*(p.Get(w, ip, j)-pc))
+				vn.Set(w, i, j, v.Get(w, i, j)-dt*(p.Get(w, i, jp)-pc))
+				div := u.Get(w, ip, j) - u.Get(w, im, j) +
+					v.Get(w, i, jp) - v.Get(w, i, jm)
+				pn.Set(w, i, j, pc-0.5*dt*div)
+			}
+		}
+		w.Barrier(bar)
+		bar++
+
+		cur, next = next, cur
+	}
+
+	if w.GlobalID() == 0 {
+		w.Phase(2)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j += 7 {
+				sum += cur[2].Get(w, i, j)
+			}
+		}
+		s.checksum = sum
+	}
+	w.Barrier(9999)
+}
+
+// Check implements App.
+func (s *SWM) Check() error {
+	return checkClose("swm750", s.checksum, s.reference())
+}
+
+func (s *SWM) reference() float64 {
+	n := s.n
+	alloc := func() [][]float64 {
+		g := make([][]float64, n)
+		for i := range g {
+			g[i] = make([]float64, n)
+		}
+		return g
+	}
+	u, v, p := alloc(), alloc(), alloc()
+	un, vn, pn := alloc(), alloc(), alloc()
+	r := lcg(11)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			u[i][j] = r.next()
+			v[i][j] = r.next()
+			p[i][j] = 10 + r.next()
+		}
+	}
+	const dt = 0.01
+	for it := 0; it < s.iters; it++ {
+		for i := 0; i < n; i++ {
+			im, ip := (i+n-1)%n, (i+1)%n
+			for j := 0; j < n; j++ {
+				jm, jp := (j+n-1)%n, (j+1)%n
+				pc := p[i][j]
+				un[i][j] = u[i][j] - dt*(p[ip][j]-pc)
+				vn[i][j] = v[i][j] - dt*(p[i][jp]-pc)
+				div := u[ip][j] - u[im][j] + v[i][jp] - v[i][jm]
+				pn[i][j] = pc - 0.5*dt*div
+			}
+		}
+		u, un = un, u
+		v, vn = vn, v
+		p, pn = pn, p
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j += 7 {
+			sum += p[i][j]
+		}
+	}
+	return sum
+}

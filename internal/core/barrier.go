@@ -1,0 +1,162 @@
+package core
+
+import (
+	"cvm/internal/netsim"
+)
+
+// nodeBarrier is one node's state for one global barrier: local arrivals
+// are aggregated so only the last local thread sends a per-node arrival
+// message — the paper's multi-threaded barrier change.
+type nodeBarrier struct {
+	id      int
+	arrived int
+	waiters []*Thread
+}
+
+// barrierEpisode is the manager-side state of one barrier crossing.
+type barrierEpisode struct {
+	arrived   int
+	arrivalVT []VClock // per node, nil until that node arrives
+}
+
+func (n *node) barrierAt(id int) *nodeBarrier {
+	b := n.barriers[id]
+	if b == nil {
+		b = &nodeBarrier{id: id}
+		n.barriers[id] = b
+	}
+	return b
+}
+
+// Barrier synchronizes all threads on all nodes. Arrival is an LRC
+// release (the open interval closes); departure is an acquire (the
+// release message carries every write notice the node has not seen).
+// All but the last local thread switch out on arrival; the last sends a
+// single per-node arrival carrying the node's interval knowledge.
+func (t *Thread) Barrier(id int) {
+	n := t.node
+	b := n.barrierAt(id)
+	b.arrived++
+	if b.arrived < n.sys.cfg.ThreadsPerNode {
+		b.waiters = append(b.waiters, t)
+		t.task.Block(ReasonBarrier)
+		return
+	}
+
+	// Last local thread: close the interval and send the node arrival.
+	n.closeInterval(t)
+	sys := t.sys
+	const mgr = 0
+	vt := n.vt.Clone()
+	b.waiters = append(b.waiters, t)
+	if n.id == mgr {
+		// The manager's own arrival is deferred to engine context so
+		// that, if it is the global last arrival, the release logic
+		// finds every waiter (including this thread) already blocked.
+		t.task.Schedule(t.task.Now(), func() {
+			sys.barrierArrival(id, mgr, vt)
+		})
+		t.task.Block(ReasonBarrier)
+		return
+	}
+	infos := n.ownInfosSince() // manager learns our new intervals
+	bytes := barrierMsgBytes + vt.wireBytes() + infosBytes(infos)
+	sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
+		netsim.ClassBarrier, bytes, func() {
+			sys.nodes[mgr].applyInfos(infos, nil)
+			sys.barrierArrival(id, n.id, vt)
+		})
+	t.task.Block(ReasonBarrier)
+}
+
+// ownInfosSince returns the node's own intervals not yet shipped to the
+// barrier manager.
+func (n *node) ownInfosSince() []*IntervalInfo {
+	infos := n.intervals[n.id]
+	i := len(infos)
+	for i > 0 && infos[i-1].Idx > n.barrierSentIdx {
+		i--
+	}
+	out := infos[i:]
+	n.barrierSentIdx = n.curIdx
+	return out
+}
+
+// barrierArrival runs at the manager (engine context for remote nodes,
+// thread context for the manager's own arrival). When the last node
+// arrives the manager releases everyone, sending each node the interval
+// knowledge its arrival vector time does not cover.
+func (s *System) barrierArrival(id, from int, vt VClock) {
+	ep := s.episodes[id]
+	if ep == nil {
+		ep = &barrierEpisode{arrivalVT: make([]VClock, s.cfg.Nodes)}
+		s.episodes[id] = ep
+	}
+	ep.arrived++
+	ep.arrivalVT[from] = vt
+	if ep.arrived < s.cfg.Nodes {
+		return
+	}
+	delete(s.episodes, id)
+
+	mgr := s.nodes[0]
+	// The manager has merged every node's interval knowledge (arrivals
+	// carried it); its vt now dominates all arrivals.
+	for nodeID := 0; nodeID < s.cfg.Nodes; nodeID++ {
+		if nodeID == 0 {
+			continue
+		}
+		nodeID := nodeID
+		infos := mgr.newInfosSince(ep.arrivalVT[nodeID])
+		bytes := barrierMsgBytes + mgr.vt.wireBytes() + infosBytes(infos)
+		mgrVT := mgr.vt.Clone()
+		s.net.SendFromHandler(netsim.NodeID(0), netsim.NodeID(nodeID),
+			netsim.ClassBarrier, bytes, func() {
+				n := s.nodes[nodeID]
+				n.applyInfos(infos, mgrVT)
+				n.releaseBarrier(id)
+			})
+	}
+	mgr.releaseBarrier(id)
+}
+
+// releaseBarrier wakes every local thread blocked at the barrier. It
+// always runs in engine context: remote releases arrive as messages, and
+// the manager's own arrival is deferred to an engine event.
+func (n *node) releaseBarrier(id int) {
+	b := n.barrierAt(id)
+	waiters := b.waiters
+	b.waiters = nil
+	b.arrived = 0
+	for _, w := range waiters {
+		n.sys.eng.Wake(w.task)
+	}
+}
+
+// LocalBarrier synchronizes only the threads co-located on the calling
+// thread's node. It costs no messages and no consistency actions: local
+// threads share physical memory. This is the mechanism behind the
+// paper's `r` source modification (per-node reduction aggregation).
+func (t *Thread) LocalBarrier(id int) {
+	n := t.node
+	key := localBarrierKeyBase + id
+	b := n.barrierAt(key)
+	b.arrived++
+	if b.arrived < n.sys.cfg.ThreadsPerNode {
+		b.waiters = append(b.waiters, t)
+		t.task.Block(ReasonBarrier)
+		return
+	}
+	waiters := b.waiters
+	b.waiters = nil
+	b.arrived = 0
+	t.task.Advance(t.sys.cfg.LocalBarrierCost)
+	for _, w := range waiters {
+		t.sys.eng.WakeAt(w.task, t.task.Now())
+	}
+}
+
+const (
+	barrierMsgBytes     = 16
+	localBarrierKeyBase = 1 << 20
+)

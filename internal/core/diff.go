@@ -1,0 +1,79 @@
+package core
+
+// Diff summarizes the modifications made to one page during one or more
+// intervals, as a list of byte runs that differ between the page's twin
+// and its current contents. Diffs are how CVM's multiple-writer protocol
+// merges concurrent modifications to the same page.
+type Diff struct {
+	Page PageID
+	Node int    // creator node
+	Idx  int32  // newest interval the diff belongs to
+	VT   VClock // creator's vector time when the interval closed
+	Runs []Run
+}
+
+// Run is a contiguous modified byte range within a page.
+type Run struct {
+	Off  int32
+	Data []byte
+}
+
+// MakeDiff compares twin (the page contents at first write) against cur
+// and returns the modified runs. The slices must be the same length.
+func MakeDiff(page PageID, twin, cur []byte) []Run {
+	var runs []Run
+	n := len(cur)
+	i := 0
+	for i < n {
+		if twin[i] == cur[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < n && twin[i] != cur[i] {
+			i++
+		}
+		data := make([]byte, i-start)
+		copy(data, cur[start:i])
+		runs = append(runs, Run{Off: int32(start), Data: data})
+	}
+	return runs
+}
+
+// Apply writes the diff's runs into page contents dst, and into twin as
+// well when twin is non-nil. Applying to the twin keeps remotely-created
+// modifications from being re-attributed to the local node's next diff
+// when the local node is itself a concurrent writer of the page.
+func (d *Diff) Apply(dst, twin []byte) {
+	for _, r := range d.Runs {
+		copy(dst[r.Off:], r.Data)
+		if twin != nil {
+			copy(twin[r.Off:], r.Data)
+		}
+	}
+}
+
+// Bytes reports the payload size of the diff on the simulated wire:
+// 8 bytes of header per run plus the run data, plus the vector time.
+func (d *Diff) Bytes() int {
+	n := d.VT.wireBytes() + 16
+	for _, r := range d.Runs {
+		n += 8 + len(r.Data)
+	}
+	return n
+}
+
+// Overlaps reports whether two diffs modify any common byte. Overlapping
+// concurrent diffs indicate a data race in the application.
+func (d *Diff) Overlaps(other *Diff) bool {
+	for _, a := range d.Runs {
+		for _, b := range other.Runs {
+			aEnd := a.Off + int32(len(a.Data))
+			bEnd := b.Off + int32(len(b.Data))
+			if a.Off < bEnd && b.Off < aEnd {
+				return true
+			}
+		}
+	}
+	return false
+}

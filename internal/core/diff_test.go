@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeDiffEmpty(t *testing.T) {
+	twin := make([]byte, 128)
+	cur := make([]byte, 128)
+	if runs := MakeDiff(0, twin, cur); runs != nil {
+		t.Errorf("identical pages produced %d runs, want none", len(runs))
+	}
+}
+
+func TestMakeDiffSingleRun(t *testing.T) {
+	twin := make([]byte, 128)
+	cur := make([]byte, 128)
+	copy(cur[10:], []byte{1, 2, 3})
+	runs := MakeDiff(0, twin, cur)
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+	if runs[0].Off != 10 || !bytes.Equal(runs[0].Data, []byte{1, 2, 3}) {
+		t.Errorf("run = %+v, want off=10 data=[1 2 3]", runs[0])
+	}
+}
+
+func TestMakeDiffMultipleRuns(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[0] = 9
+	cur[31] = 9
+	cur[63] = 9
+	runs := MakeDiff(0, twin, cur)
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(runs))
+	}
+}
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	// Property: applying MakeDiff(twin, cur) to a copy of twin yields cur.
+	f := func(seed []byte) bool {
+		const n = 256
+		twin := make([]byte, n)
+		cur := make([]byte, n)
+		for i, b := range seed {
+			twin[i%n] = b
+		}
+		copy(cur, twin)
+		// Mutate cur at positions derived from the seed.
+		for i, b := range seed {
+			if b%3 == 0 {
+				cur[(i*7)%n] ^= b | 1
+			}
+		}
+		d := &Diff{Runs: MakeDiff(0, twin, cur)}
+		got := make([]byte, n)
+		copy(got, twin)
+		d.Apply(got, nil)
+		return bytes.Equal(got, cur)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffApplyToTwin(t *testing.T) {
+	twin := make([]byte, 32)
+	dst := make([]byte, 32)
+	d := &Diff{Runs: []Run{{Off: 4, Data: []byte{7, 8}}}}
+	d.Apply(dst, twin)
+	if dst[4] != 7 || twin[4] != 7 || dst[5] != 8 || twin[5] != 8 {
+		t.Error("Apply did not update both destination and twin")
+	}
+}
+
+func TestDiffOverlaps(t *testing.T) {
+	a := &Diff{Runs: []Run{{Off: 0, Data: make([]byte, 8)}}}
+	b := &Diff{Runs: []Run{{Off: 8, Data: make([]byte, 8)}}}
+	c := &Diff{Runs: []Run{{Off: 4, Data: make([]byte, 8)}}}
+	if a.Overlaps(b) {
+		t.Error("adjacent diffs reported overlapping")
+	}
+	if !a.Overlaps(c) || !b.Overlaps(c) {
+		t.Error("overlapping diffs reported disjoint")
+	}
+}
+
+func TestDiffBytes(t *testing.T) {
+	d := &Diff{VT: NewVClock(4), Runs: []Run{{Off: 0, Data: make([]byte, 100)}}}
+	want := 16 + 16 + 8 + 100
+	if got := d.Bytes(); got != want {
+		t.Errorf("Bytes() = %d, want %d", got, want)
+	}
+}
+
+func TestConcurrentDiffMergeCommutes(t *testing.T) {
+	// Property: two diffs over disjoint regions applied in either order
+	// produce the same page (multi-writer merge correctness).
+	f := func(aData, bData []byte) bool {
+		const n = 128
+		base := make([]byte, n)
+		a := &Diff{Runs: MakeDiff(0, base, pageWith(base, 0, aData, n/2))}
+		b := &Diff{Runs: MakeDiff(0, base, pageWith(base, n/2, bData, n/2))}
+		p1 := make([]byte, n)
+		a.Apply(p1, nil)
+		b.Apply(p1, nil)
+		p2 := make([]byte, n)
+		b.Apply(p2, nil)
+		a.Apply(p2, nil)
+		return bytes.Equal(p1, p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// pageWith returns a copy of base with data written at off (clamped to
+// limit bytes).
+func pageWith(base []byte, off int, data []byte, limit int) []byte {
+	p := make([]byte, len(base))
+	copy(p, base)
+	if len(data) > limit {
+		data = data[:limit]
+	}
+	copy(p[off:], data)
+	return p
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"cvm/internal/netsim"
+	"cvm/internal/sim"
+)
+
+// faultState tracks one in-flight remote page fetch: the parallel diff
+// requests sent, the replies collected, and the local threads blocked on
+// the page. The first blocked thread applies the diffs when the last
+// reply arrives; later threads are Block-Same-Page waiters.
+type faultState struct {
+	page        *page
+	ranges      []diffRange
+	outstanding int
+	diffs       []*Diff
+	waiters     []*Thread
+	ready       bool // all replies received; applier may proceed
+}
+
+// ensureAccess makes the page accessible for the requested access kind,
+// dispatching to the configured protocol's fault state machine. The LRC
+// path runs remote fetches for invalid pages and twin creation for writes
+// to read-only pages.
+func (t *Thread) ensureAccess(p *page, write bool) {
+	cfg := &t.sys.cfg
+	if cfg.Protocol == ProtocolSW {
+		t.swEnsureAccess(p, write)
+		return
+	}
+	n := t.node
+	for {
+		switch {
+		case p.state == PageReadWrite:
+			return
+
+		case p.state == PageReadOnly && !write:
+			return
+
+		case p.state == PageReadOnly:
+			// Write to a valid read-only page: local fault. Charge
+			// signal delivery, create the twin (a page-length copy
+			// through the cache), re-enable writes (mprotect).
+			t.task.Advance(cfg.SignalCost)
+			p.materialize(cfg.PageSize)
+			if p.twin == nil {
+				twin := make([]byte, cfg.PageSize)
+				copy(twin, p.data)
+				p.twin = twin
+				t.task.Advance(n.mem.AccessRange(t.pageVA(p.id), cfg.PageSize))
+			}
+			t.task.Advance(cfg.MprotectCost)
+			if p.state != PageReadOnly || p.twin == nil {
+				// While the charges above yielded to the engine, a
+				// handler either invalidated the page (write notice) or
+				// consumed the twin to serve a diff request. Re-run the
+				// fault state machine: writes must never proceed
+				// without a live twin or they escape the next diff.
+				continue
+			}
+			p.state = PageReadWrite
+			n.markDirty(p)
+			n.stats.LocalFaults++
+			return
+
+		default: // PageInvalid
+			t.remoteFault(p)
+		}
+	}
+}
+
+// remoteFault fetches the diffs needed to validate p, blocking the thread.
+// If a fetch for p is already in flight the thread joins it (Block Same
+// Page). On return the page may still be invalid (a write notice arrived
+// during the fetch); the caller's loop re-faults.
+func (t *Thread) remoteFault(p *page) {
+	n := t.node
+	cfg := &t.sys.cfg
+
+	if fs := p.fault; fs != nil {
+		n.stats.BlockSamePage++
+		fs.waiters = append(fs.waiters, t)
+		t.task.Block(ReasonFault)
+		return
+	}
+
+	t.task.Advance(cfg.SignalCost)
+	ranges := p.missingFrom()
+	if len(ranges) == 0 {
+		// Raced with a completing fetch; nothing is missing anymore.
+		p.state = validState(p)
+		return
+	}
+
+	fs := &faultState{page: p, ranges: ranges, outstanding: len(ranges)}
+	p.fault = fs
+	n.stats.RemoteFaults++
+	n.stats.OutstandingFaults += int64(n.inFlightFaults)
+	n.stats.OutstandingLocks += int64(n.inFlightLocks)
+	n.inFlightFaults++
+
+	sys := t.sys
+	for _, r := range ranges {
+		r := r
+		target := sys.nodes[r.node]
+		sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(r.node),
+			netsim.ClassDiff, diffRequestBytes, func() {
+				target.serveDiffRequest(p.id, r.from, r.to, func(ds []*Diff, bytes int, service sim.Time) {
+					sys.eng.Schedule(sys.eng.Now()+service, func() {
+						sys.net.SendFromHandler(netsim.NodeID(r.node), netsim.NodeID(n.id),
+							netsim.ClassDiff, bytes, func() {
+								fs.diffs = append(fs.diffs, ds...)
+								fs.outstanding--
+								if fs.outstanding == 0 {
+									fs.ready = true
+									sys.eng.Wake(fs.waiters[0].task)
+								}
+							})
+					})
+				})
+			})
+	}
+
+	fs.waiters = append(fs.waiters, t)
+	t.task.Block(ReasonFault)
+
+	if p.fault == fs && fs.ready && fs.waiters[0] == t {
+		t.applyFault(fs)
+	}
+}
+
+// applyFault installs the collected diffs in happened-before order,
+// charging the memory-system cost of every modified byte, then releases
+// the fault's co-waiters.
+func (t *Thread) applyFault(fs *faultState) {
+	n := t.node
+	p := fs.page
+	p.materialize(t.sys.cfg.PageSize)
+	sortDiffs(fs.diffs)
+	if t.sys.cfg.DetectRaces {
+		n.detectRaces(fs.diffs)
+	}
+	base := t.pageVA(p.id)
+	for _, d := range fs.diffs {
+		d.Apply(p.data, p.twin)
+		if d.Idx > p.applied[d.Node] {
+			p.applied[d.Node] = d.Idx
+		}
+		n.stats.DiffsUsed++
+		for _, run := range d.Runs {
+			t.task.Advance(n.mem.AccessRange(base+uint64(run.Off), len(run.Data)))
+		}
+	}
+	// Empty replies still certify the requested ranges.
+	for _, r := range fs.ranges {
+		if p.applied[r.node] < r.to {
+			p.applied[r.node] = r.to
+		}
+	}
+	t.task.Advance(t.sys.cfg.MprotectCost)
+
+	if p.consistent() {
+		p.state = validState(p)
+	} // else: a write notice arrived mid-fetch; stay invalid and re-fault.
+
+	p.fault = nil
+	n.inFlightFaults--
+	for _, w := range fs.waiters[1:] {
+		t.sys.eng.WakeAt(w.task, t.task.Now())
+	}
+}
+
+// validState is the access right a consistent page returns to: read-write
+// if the node is an active concurrent writer, read-only otherwise.
+func validState(p *page) PageState {
+	if p.openDirty {
+		return PageReadWrite
+	}
+	return PageReadOnly
+}
+
+// diffRequestBytes is the wire size of a diff request (page id + range).
+const diffRequestBytes = 16
+
+// detectRaces counts pairs of concurrent (causally unordered) diffs that
+// write overlapping bytes — the paper's definition of a probable data
+// race in a multiple-writer protocol.
+func (n *node) detectRaces(ds []*Diff) {
+	for i := 0; i < len(ds); i++ {
+		for j := i + 1; j < len(ds); j++ {
+			a, b := ds[i], ds[j]
+			if a.Node == b.Node || a.VT.Before(b.VT) || b.VT.Before(a.VT) {
+				continue
+			}
+			if a.Overlaps(b) {
+				n.stats.RacesDetected++
+			}
+		}
+	}
+}

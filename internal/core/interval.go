@@ -1,0 +1,27 @@
+package core
+
+// IntervalInfo describes one closed interval of one node: its position in
+// the partial order (VT) and the pages it modified (its write notices).
+// IntervalInfos travel on lock-grant and barrier-release messages; applying
+// one invalidates the named pages.
+type IntervalInfo struct {
+	Node  int
+	Idx   int32
+	VT    VClock
+	Pages []PageID
+}
+
+// wireBytes reports the encoded size of the interval record: header,
+// vector time, and 4 bytes per write notice.
+func (in *IntervalInfo) wireBytes() int {
+	return 12 + in.VT.wireBytes() + 4*len(in.Pages)
+}
+
+// infosBytes sums the wire size of a batch of interval records.
+func infosBytes(infos []*IntervalInfo) int {
+	n := 0
+	for _, in := range infos {
+		n += in.wireBytes()
+	}
+	return n
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"cvm/internal/netsim"
+)
+
+// lockState is one node's view of one global lock. Lock ownership is a
+// token that migrates between nodes; a static manager (lock % nodes)
+// forwards each request to the last requester, giving the paper's 2-hop
+// (manager holds the token) and 3-hop (token elsewhere) acquire paths.
+//
+// Per the paper's multi-threading changes, each node keeps a local queue:
+// threads acquiring a lock already held or requested locally enqueue
+// without remote traffic, and release prefers local waiters over remote
+// requesters — unfair, but effective.
+type lockState struct {
+	id        int
+	token     bool    // lock ownership resident at this node
+	heldBy    *Thread // local holder, nil if free
+	localQ    []*Thread
+	requested bool   // remote request in flight
+	nextNode  int    // node to hand the token to after the local queue drains
+	nextVT    VClock // the pending remote requester's vector time
+
+	mgrLast int // manager's record of the last requesting node
+}
+
+func (n *node) lockAt(id int) *lockState {
+	l := n.locks[id]
+	if l == nil {
+		l = &lockState{id: id, nextNode: -1}
+		mgr := id % n.sys.cfg.Nodes
+		if n.id == mgr {
+			// The manager initially holds the token, free.
+			l.token = true
+			l.mgrLast = mgr
+		}
+		n.locks[id] = l
+	}
+	return l
+}
+
+// Lock acquires global lock id, blocking until granted. Acquiring is an
+// LRC acquire: the grant carries write notices for intervals this node
+// has not seen.
+func (t *Thread) Lock(id int) {
+	n := t.node
+	l := n.lockAt(id)
+	cfg := &t.sys.cfg
+
+	switch {
+	case l.token && l.heldBy == nil && !l.requested:
+		// Fast path: token cached here and free.
+		t.task.Advance(cfg.LockLocalCost)
+		l.heldBy = t
+		n.stats.LocalLockAcquires++
+
+	case l.heldBy != nil || l.requested || len(l.localQ) > 0:
+		// Locally contended: join the local queue. This is the paper's
+		// Block Same Lock event and costs no messages.
+		n.stats.BlockSameLock++
+		n.stats.LocalLockAcquires++
+		l.localQ = append(l.localQ, t)
+		t.task.Block(ReasonLock)
+		// Woken as the holder (set by the releaser or the grant).
+
+	default:
+		// Token elsewhere: one remote request via the manager.
+		l.requested = true
+		n.stats.RemoteLocks++
+		n.stats.OutstandingFaults += int64(n.inFlightFaults)
+		n.stats.OutstandingLocks += int64(n.inFlightLocks)
+		n.inFlightLocks++
+		l.localQ = append(l.localQ, t)
+		t.sendLockRequest(l)
+		t.task.Block(ReasonLock)
+	}
+}
+
+// sendLockRequest routes the acquire to the lock's manager. The request
+// carries the requester's vector time so the eventual grant can compute
+// the write notices to piggyback (the LRC acquire protocol).
+func (t *Thread) sendLockRequest(l *lockState) {
+	sys := t.sys
+	n := t.node
+	mgr := l.id % sys.cfg.Nodes
+	reqVT := n.vt.Clone()
+	bytes := lockMsgBytes + reqVT.wireBytes()
+
+	if mgr == n.id {
+		// We are the manager: forward straight to the last requester.
+		// (The token cannot be here: the fast path would have taken it.)
+		last := l.mgrLast
+		l.mgrLast = n.id
+		sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(last),
+			netsim.ClassLock, bytes, func() {
+				sys.nodes[last].handleLockHandoff(l.id, n.id, reqVT)
+			})
+		return
+	}
+	sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
+		netsim.ClassLock, bytes, func() {
+			sys.nodes[mgr].handleLockManagerRequest(l.id, n.id, reqVT)
+		})
+}
+
+// handleLockManagerRequest runs at the lock's manager (engine context):
+// record the requester as last and forward to the previous last. If the
+// previous last is the manager itself the "forward" is a local call — the
+// 2-hop path.
+func (n *node) handleLockManagerRequest(id, from int, reqVT VClock) {
+	l := n.lockAt(id)
+	last := l.mgrLast
+	l.mgrLast = from
+	if last == n.id {
+		n.handleLockHandoff(id, from, reqVT)
+		return
+	}
+	sys := n.sys
+	sys.net.SendFromHandler(netsim.NodeID(n.id), netsim.NodeID(last),
+		netsim.ClassLock, lockMsgBytes+reqVT.wireBytes(), func() {
+			sys.nodes[last].handleLockHandoff(id, from, reqVT)
+		})
+}
+
+// handleLockHandoff runs at the node that last requested the token
+// (engine context): grant immediately if the token is free, otherwise
+// remember the requester for release time.
+func (n *node) handleLockHandoff(id, to int, reqVT VClock) {
+	l := n.lockAt(id)
+	if l.token && l.heldBy == nil && len(l.localQ) == 0 && !l.requested {
+		n.grantLock(l, to, reqVT)
+		return
+	}
+	if l.nextNode >= 0 {
+		panic("core: second lock forward before token handoff")
+	}
+	l.nextNode = to
+	l.nextVT = reqVT
+}
+
+// grantLock sends the token (with piggybacked write notices) to a remote
+// requester. It runs in engine context; grants issued from a releasing
+// thread go through releaseRemote.
+func (n *node) grantLock(l *lockState, to int, reqVT VClock) {
+	l.token = false
+	infos := n.newInfosSince(reqVT)
+	bytes := lockMsgBytes + n.vt.wireBytes() + infosBytes(infos)
+	vt := n.vt.Clone()
+	sys := n.sys
+	sys.net.SendFromHandler(netsim.NodeID(n.id), netsim.NodeID(to),
+		netsim.ClassLock, bytes, func() {
+			sys.nodes[to].handleLockGrant(l.id, infos, vt)
+		})
+}
+
+// handleLockGrant runs at the original requester (engine context): apply
+// the piggybacked consistency information and hand the lock to the first
+// queued local thread.
+func (n *node) handleLockGrant(id int, infos []*IntervalInfo, senderVT VClock) {
+	l := n.lockAt(id)
+	n.applyInfos(infos, senderVT)
+	l.token = true
+	l.requested = false
+	n.inFlightLocks--
+	next := l.localQ[0]
+	l.localQ = l.localQ[:copy(l.localQ, l.localQ[1:])]
+	l.heldBy = next
+	n.sys.eng.Wake(next.task)
+}
+
+// Unlock releases global lock id. Release is an LRC release: the open
+// interval closes so subsequent acquirers see this critical section's
+// modifications. Local waiters are preferred over remote requesters, even
+// ones that asked earlier.
+func (t *Thread) Unlock(id int) {
+	n := t.node
+	l := n.lockAt(id)
+	if l.heldBy != t {
+		panic("core: Unlock of lock not held by this thread")
+	}
+	n.closeInterval(t)
+	t.task.Advance(t.sys.cfg.LockLocalCost)
+
+	if len(l.localQ) > 0 {
+		next := l.localQ[0]
+		l.localQ = l.localQ[:copy(l.localQ, l.localQ[1:])]
+		l.heldBy = next
+		t.sys.eng.WakeAt(next.task, t.task.Now())
+		return
+	}
+	l.heldBy = nil
+	if l.nextNode >= 0 {
+		to, vt := l.nextNode, l.nextVT
+		l.nextNode, l.nextVT = -1, nil
+		l.token = false
+		infos := n.newInfosSince(vt)
+		bytes := lockMsgBytes + n.vt.wireBytes() + infosBytes(infos)
+		myVT := n.vt.Clone()
+		sys := t.sys
+		sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(to),
+			netsim.ClassLock, bytes, func() {
+				sys.nodes[to].handleLockGrant(id, infos, myVT)
+			})
+	}
+	// Otherwise the token stays cached here, free.
+}
+
+// lockMsgBytes is the header size of lock protocol messages.
+const lockMsgBytes = 16

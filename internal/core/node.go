@@ -1,0 +1,299 @@
+package core
+
+import (
+	"sort"
+
+	"cvm/internal/memsim"
+	"cvm/internal/sim"
+)
+
+// node holds one processor's DSM state: its page table, interval
+// knowledge, lock and barrier state, and counters.
+type node struct {
+	sys  *System
+	id   int
+	proc *sim.Proc
+	mem  *memsim.System
+
+	// Consistency state.
+	vt             VClock
+	curIdx         int32                   // index of this node's next interval
+	pages          []*page                 // lazily populated, one per PageID
+	dirty          []PageID                // pages written in the open interval
+	intervals      map[int][]*IntervalInfo // known intervals, keyed by node, idx-ascending
+	diffs          map[PageID][]*Diff      // diffs created here, idx-ascending
+	locks          map[int]*lockState
+	barriers       map[int]*nodeBarrier
+	reduces        map[int]*nodeReduce
+	swdir          map[PageID]*swDir // single-writer directory (manager side)
+	barrierSentIdx int32             // own intervals already shipped to the barrier manager
+
+	// In-flight remote request counts for outstanding-request sampling.
+	inFlightFaults int
+	inFlightLocks  int
+
+	threads []*Thread
+	stats   NodeStats
+}
+
+func newNode(sys *System, id int, proc *sim.Proc, mem *memsim.System) *node {
+	n := &node{
+		sys:       sys,
+		id:        id,
+		proc:      proc,
+		mem:       mem,
+		vt:        NewVClock(sys.cfg.Nodes),
+		intervals: make(map[int][]*IntervalInfo),
+		diffs:     make(map[PageID][]*Diff),
+		locks:     make(map[int]*lockState),
+		barriers:  make(map[int]*nodeBarrier),
+		reduces:   make(map[int]*nodeReduce),
+		swdir:     make(map[PageID]*swDir),
+	}
+	proc.SetHooks(sim.ProcHooks{
+		OnSwitch:  n.onSwitch,
+		OnIdleEnd: n.onIdleEnd,
+		OnSlice:   n.onSlice,
+	})
+	return n
+}
+
+func (n *node) onSwitch(from, to *sim.Task) {
+	n.stats.ThreadSwitches++
+	// Scheduler code plus the incoming thread's code phase touch the
+	// I-TLB; this is the synthetic instruction-locality model (Figure 2).
+	n.mem.InstrTouch(schedCodePage)
+	if th := n.sys.threadOf(to); th != nil {
+		th.touchPhaseCode()
+	}
+}
+
+func (n *node) onIdleEnd(start, end sim.Time, task *sim.Task) {
+	d := end - start
+	switch task.BlockReason() {
+	case ReasonFault:
+		n.stats.FaultWait += d
+	case ReasonLock:
+		n.stats.LockWait += d
+	case ReasonBarrier:
+		n.stats.BarrierWait += d
+	}
+}
+
+func (n *node) onSlice(task *sim.Task, start, end sim.Time) {
+	n.stats.UserTime += end - start
+}
+
+// pageAt returns the node's view of pg, creating it lazily. Under the
+// lazy-multi-writer protocol every node starts with a valid zero page
+// (write notices invalidate later); under single-writer only the page's
+// manager starts with a copy.
+func (n *node) pageAt(pg PageID) *page {
+	p := n.pages[pg]
+	if p == nil {
+		state := PageReadOnly
+		if n.sys.cfg.Protocol == ProtocolSW && int(pg)%n.sys.cfg.Nodes != n.id {
+			state = PageInvalid
+		}
+		p = &page{
+			id:      pg,
+			state:   state,
+			applied: make([]int32, n.sys.cfg.Nodes),
+			wanted:  make([]int32, n.sys.cfg.Nodes),
+		}
+		n.pages[pg] = p
+	}
+	return p
+}
+
+// markDirty adds pg to the open interval's dirty list.
+func (n *node) markDirty(p *page) {
+	if !p.openDirty {
+		p.openDirty = true
+		n.dirty = append(n.dirty, p.id)
+	}
+}
+
+// closeInterval ends the open interval if it modified any pages, emitting
+// write notices and downgrading dirty pages to read-only so the next
+// interval's writes fault into the dirty list again. It is called at
+// release operations (lock release, barrier arrival) in thread context;
+// the per-page protection changes charge the paper's mprotect cost to t.
+func (n *node) closeInterval(t *Thread) {
+	if len(n.dirty) == 0 {
+		return
+	}
+	n.curIdx++
+	n.vt[n.id] = n.curIdx
+	info := &IntervalInfo{
+		Node:  n.id,
+		Idx:   n.curIdx,
+		VT:    n.vt.Clone(),
+		Pages: append([]PageID(nil), n.dirty...),
+	}
+	n.intervals[n.id] = append(n.intervals[n.id], info)
+
+	// Create this interval's diffs eagerly (as TreadMarks does at barrier
+	// arrival): every diff then carries exact per-interval attribution,
+	// which keeps diff propagation inside the causally-closed write-notice
+	// set — a requester is only ever sent diffs for intervals it holds
+	// write notices for, so cross-fault application order can never
+	// regress a byte. The page-length comparison and the protection
+	// downgrade are charged to the closing thread.
+	for _, pg := range n.dirty {
+		p := n.pages[pg]
+		p.openDirty = false
+		d := &Diff{
+			Page: pg,
+			Node: n.id,
+			Idx:  n.curIdx,
+			VT:   info.VT,
+			Runs: MakeDiff(pg, p.twin, p.data),
+		}
+		n.storeDiff(d)
+		p.twin = nil
+		if t != nil {
+			t.task.Advance(n.sys.cfg.DiffCreateCost +
+				n.mem.AccessRange(uint64(pg)<<n.sys.pageShift, n.sys.cfg.PageSize))
+		}
+		if p.state == PageReadWrite {
+			p.state = PageReadOnly
+			if t != nil {
+				t.task.Advance(n.sys.cfg.MprotectCost)
+			}
+		}
+	}
+	n.dirty = n.dirty[:0]
+}
+
+func (n *node) storeDiff(d *Diff) {
+	n.diffs[d.Page] = append(n.diffs[d.Page], d)
+	n.stats.DiffsCreated++
+}
+
+// newInfosSince returns this node's knowledge of every interval (its own
+// and others') not covered by the given vector time, ordered by node then
+// index. It is the write-notice payload of lock grants and barrier
+// messages.
+func (n *node) newInfosSince(vt VClock) []*IntervalInfo {
+	var out []*IntervalInfo
+	for nodeID := 0; nodeID < n.sys.cfg.Nodes; nodeID++ {
+		infos := n.intervals[nodeID]
+		// Binary search: infos is ascending by Idx.
+		i := sort.Search(len(infos), func(i int) bool { return infos[i].Idx > vt[nodeID] })
+		out = append(out, infos[i:]...)
+	}
+	return out
+}
+
+// applyInfos merges received interval knowledge: records the intervals,
+// invalidates pages named by fresh write notices, and joins the sender's
+// vector time. It runs at acquire-type operations (lock grant, barrier
+// release) in either thread or engine context.
+func (n *node) applyInfos(infos []*IntervalInfo, senderVT VClock) {
+	for _, info := range infos {
+		if info.Node == n.id || info.Idx <= n.vt[info.Node] {
+			continue // own interval or already known
+		}
+		n.intervals[info.Node] = append(n.intervals[info.Node], info)
+		n.vt[info.Node] = info.Idx
+		for _, pg := range info.Pages {
+			p := n.pageAt(pg)
+			if info.Idx > p.wanted[info.Node] {
+				p.wanted[info.Node] = info.Idx
+			}
+			if p.applied[info.Node] < p.wanted[info.Node] {
+				p.state = PageInvalid
+			}
+		}
+	}
+	if senderVT != nil {
+		n.vt.Merge(senderVT)
+	}
+}
+
+// serveDiffRequest handles a remote data request (engine context): it
+// replies with the stored diffs for intervals in (from, to]. All such
+// diffs exist — they were created when the intervals closed — so the
+// reply never reaches past the requester's write-notice horizon.
+// Intervals in the range that did not dirty the page simply have no diff.
+func (n *node) serveDiffRequest(pg PageID, from, to int32, reply func(ds []*Diff, bytes int, serviceTime sim.Time)) {
+	stored := n.diffs[pg]
+	i := sort.Search(len(stored), func(i int) bool { return stored[i].Idx > from })
+	j := sort.Search(len(stored), func(j int) bool { return stored[j].Idx > to })
+	ds := stored[i:j]
+	bytes := 16
+	for _, d := range ds {
+		bytes += d.Bytes()
+	}
+	reply(ds, bytes, n.sys.cfg.DiffServeCost)
+}
+
+// sortDiffs orders diffs for application into a linear extension of the
+// happens-before partial order, so a causally-later diff is always applied
+// after every diff it supersedes. Happens-before is a partial order, NOT a
+// strict weak ordering, so a comparison sort cannot be used. Instead the
+// diffs are merged per creator node (each node's diffs are already
+// causally ordered by interval index): repeatedly emit the queue head that
+// no other head happens-before, breaking ties among concurrent heads by
+// node ID. Concurrent diffs modify disjoint bytes in race-free programs,
+// so their mutual order is immaterial.
+func sortDiffs(ds []*Diff) {
+	if len(ds) < 2 {
+		return
+	}
+	queues := make(map[int][]*Diff)
+	var nodeIDs []int
+	for _, d := range ds {
+		if _, ok := queues[d.Node]; !ok {
+			nodeIDs = append(nodeIDs, d.Node)
+		}
+		queues[d.Node] = append(queues[d.Node], d)
+	}
+	sort.Ints(nodeIDs)
+	for _, id := range nodeIDs {
+		q := queues[id]
+		sort.Slice(q, func(i, j int) bool { return q[i].Idx < q[j].Idx })
+	}
+
+	out := ds[:0]
+	for remaining := len(ds); remaining > 0; remaining-- {
+		emit := -1
+		for _, id := range nodeIDs {
+			q := queues[id]
+			if len(q) == 0 {
+				continue
+			}
+			safe := true
+			for _, other := range nodeIDs {
+				oq := queues[other]
+				if other == id || len(oq) == 0 {
+					continue
+				}
+				if oq[0].VT.Before(q[0].VT) {
+					safe = false
+					break
+				}
+			}
+			if safe {
+				emit = id
+				break
+			}
+		}
+		if emit < 0 {
+			// Unreachable for well-formed vector times; fall back to
+			// the lowest node to guarantee progress.
+			for _, id := range nodeIDs {
+				if len(queues[id]) > 0 {
+					emit = id
+					break
+				}
+			}
+		}
+		out = append(out, queues[emit][0])
+		queues[emit] = queues[emit][1:]
+	}
+}
+
+// schedCodePage is the synthetic I-TLB page of the thread scheduler.
+const schedCodePage = 1 << 40

@@ -1,0 +1,112 @@
+package core
+
+// PageID indexes an 8 KB coherence unit within the shared address space.
+type PageID int32
+
+// Addr is a byte offset into the shared address space. All nodes see the
+// same addresses; each node keeps its own (possibly stale) copy of every
+// page it has touched.
+type Addr int64
+
+// PageState is a node's current access right to one page, the software
+// equivalent of the mprotect-managed protection CVM used.
+type PageState uint8
+
+// Page states.
+const (
+	// PageInvalid: write notices for unseen intervals are pending; any
+	// access faults and fetches the missing diffs.
+	PageInvalid PageState = iota
+	// PageReadOnly: contents are current; a write faults locally to
+	// create a twin.
+	PageReadOnly
+	// PageReadWrite: the node holds a twin and is collecting writes.
+	PageReadWrite
+)
+
+// String returns a short name for the state.
+func (s PageState) String() string {
+	switch s {
+	case PageInvalid:
+		return "invalid"
+	case PageReadOnly:
+		return "readonly"
+	case PageReadWrite:
+		return "readwrite"
+	default:
+		return "unknown"
+	}
+}
+
+// page is one node's view of a shared page.
+type page struct {
+	id    PageID
+	state PageState
+
+	// data is the local copy; nil means the page has never been
+	// materialized locally and reads as zeros.
+	data []byte
+
+	// twin is a snapshot from the first write access of the current
+	// write-collection episode; diffs are computed against it.
+	twin []byte
+
+	// openDirty reports whether the page is in the open interval's dirty
+	// list (a write notice will be emitted when the interval closes).
+	openDirty bool
+
+	// applied[n] is the highest interval index of node n whose
+	// modifications are reflected in data. wanted[n] is the highest
+	// index named by a received write notice. The page is consistent
+	// when applied covers wanted for every node.
+	applied []int32
+	wanted  []int32
+
+	// fault is the in-flight remote fetch for this page, if any
+	// (lazy-multi-writer protocol).
+	fault *faultState
+
+	// swf is the in-flight directory transaction, if any (single-writer
+	// protocol).
+	swf *swFault
+}
+
+// consistent reports whether every write notice received for the page has
+// been applied.
+func (p *page) consistent() bool {
+	for i := range p.wanted {
+		if p.applied[i] > p.wanted[i] {
+			continue
+		}
+		if p.wanted[i] > p.applied[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// missingFrom returns the nodes holding diffs this node still needs,
+// with the (from, to] interval ranges to request.
+func (p *page) missingFrom() []diffRange {
+	var out []diffRange
+	for n := range p.wanted {
+		if p.wanted[n] > p.applied[n] {
+			out = append(out, diffRange{node: n, from: p.applied[n], to: p.wanted[n]})
+		}
+	}
+	return out
+}
+
+// diffRange names the diffs of one writer node needed to validate a page.
+type diffRange struct {
+	node     int
+	from, to int32 // half-open (from, to]
+}
+
+// materialize allocates the local copy on first use (pages read as zeros
+// until then).
+func (p *page) materialize(pageSize int) {
+	if p.data == nil {
+		p.data = make([]byte, pageSize)
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"testing"
+
+	"cvm/internal/sim"
+)
+
+// swSystem builds a single-writer-protocol system.
+func swSystem(t *testing.T, nodes, threads int) *System {
+	t.Helper()
+	cfg := DefaultConfig(nodes, threads)
+	cfg.Protocol = ProtocolSW
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestProtocolString(t *testing.T) {
+	if ProtocolLRC.String() != "lazy-multi-writer" || ProtocolSW.String() != "single-writer" {
+		t.Errorf("protocol names = %q, %q", ProtocolLRC, ProtocolSW)
+	}
+}
+
+func TestSWReadWriteSingleNode(t *testing.T) {
+	s := swSystem(t, 1, 1)
+	addr, _ := s.Alloc("x", 8192)
+	var got float64
+	runApp(t, s, func(w *Thread) {
+		w.WriteF64(addr, 2.5)
+		got = w.ReadF64(addr)
+	})
+	if got != 2.5 {
+		t.Errorf("got %v, want 2.5", got)
+	}
+}
+
+func TestSWPropagationViaBarrier(t *testing.T) {
+	s := swSystem(t, 4, 1)
+	addr, _ := s.Alloc("x", 8192)
+	got := make([]float64, 4)
+	runApp(t, s, func(w *Thread) {
+		if w.NodeID() == 0 {
+			w.WriteF64(addr, 7)
+		}
+		w.Barrier(0)
+		got[w.NodeID()] = w.ReadF64(addr)
+	})
+	for i, v := range got {
+		if v != 7 {
+			t.Errorf("node %d read %v, want 7", i, v)
+		}
+	}
+	if s.Stats().Total.DiffsCreated != 0 {
+		t.Error("single-writer protocol created diffs")
+	}
+}
+
+func TestSWIsEagerlyCoherent(t *testing.T) {
+	// Unlike LRC, single-writer propagates without synchronization: a
+	// write invalidates remote copies immediately, so a later remote read
+	// (ordered only by virtual time, no lock/barrier) sees it.
+	s := swSystem(t, 2, 1)
+	addr, _ := s.Alloc("x", 8192)
+	var got float64
+	runApp(t, s, func(w *Thread) {
+		if w.NodeID() == 0 {
+			w.WriteF64(addr, 3)
+		} else {
+			// Wait out the write's invalidation in virtual time.
+			w.Compute(50 * sim.Millisecond)
+			got = w.ReadF64(addr)
+		}
+	})
+	if got != 3 {
+		t.Errorf("read %v, want 3 (eager coherence)", got)
+	}
+}
+
+func TestSWLockCounter(t *testing.T) {
+	const nodes, threads, rounds = 4, 2, 4
+	s := swSystem(t, nodes, threads)
+	addr, _ := s.Alloc("counter", 8192)
+	var final int64
+	runApp(t, s, func(w *Thread) {
+		for r := 0; r < rounds; r++ {
+			w.Lock(7)
+			w.WriteI64(addr, w.ReadI64(addr)+1)
+			w.Unlock(7)
+		}
+		w.Barrier(0)
+		if w.GlobalID() == 0 {
+			final = w.ReadI64(addr)
+		}
+		w.Barrier(1)
+	})
+	if want := int64(nodes * threads * rounds); final != want {
+		t.Errorf("counter = %d, want %d", final, want)
+	}
+}
+
+func TestSWOwnershipMigration(t *testing.T) {
+	// Ping-pong writes between two nodes: ownership must migrate and the
+	// final value reflect both writers.
+	s := swSystem(t, 2, 1)
+	addr, _ := s.Alloc("x", 8192)
+	var got float64
+	runApp(t, s, func(w *Thread) {
+		for r := 0; r < 4; r++ {
+			if r%2 == w.NodeID() {
+				w.WriteF64(addr+Addr(r*8), float64(r+1))
+			}
+			w.Barrier(r)
+		}
+		if w.GlobalID() == 0 {
+			got = w.ReadF64(addr) + w.ReadF64(addr+8) + w.ReadF64(addr+16) + w.ReadF64(addr+24)
+		}
+		w.Barrier(100)
+	})
+	if got != 1+2+3+4 {
+		t.Errorf("sum = %v, want 10", got)
+	}
+}
+
+func TestSWBlockSamePage(t *testing.T) {
+	s := swSystem(t, 2, 2)
+	addr, _ := s.Alloc("x", 8192)
+	runApp(t, s, func(w *Thread) {
+		if w.NodeID() == 0 && w.LocalID() == 0 {
+			w.WriteF64(addr, 1)
+		}
+		w.Barrier(0)
+		if w.NodeID() == 1 {
+			_ = w.ReadF64(addr + Addr(8*w.LocalID()))
+		}
+		w.Barrier(1)
+	})
+	st := s.Stats()
+	if st.Nodes[1].BlockSamePage != 1 {
+		t.Errorf("BlockSamePage = %d, want 1", st.Nodes[1].BlockSamePage)
+	}
+}
+
+func TestSWFalseSharingPingPong(t *testing.T) {
+	// The protocol comparison in miniature: concurrent writers to
+	// disjoint halves of one page. Multi-writer LRC resolves it with
+	// concurrent diffs; single-writer must ping-pong ownership, costing
+	// far more data traffic.
+	run := func(protocol Protocol) int64 {
+		cfg := DefaultConfig(2, 1)
+		cfg.Protocol = protocol
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, _ := s.Alloc("x", 8192)
+		runApp(t, s, func(w *Thread) {
+			base := addr + Addr(4096*w.NodeID())
+			for r := 0; r < 8; r++ {
+				for i := 0; i < 16; i++ {
+					w.WriteF64(base+Addr(i*8), float64(r*i))
+				}
+				w.Barrier(r)
+			}
+		})
+		return s.Stats().Net.TotalBytes()
+	}
+	lrc, sw := run(ProtocolLRC), run(ProtocolSW)
+	if sw <= lrc {
+		t.Errorf("single-writer bytes %d not greater than multi-writer %d under false sharing", sw, lrc)
+	}
+}
+
+func TestSWDeterministic(t *testing.T) {
+	run := func() RunStats {
+		s := swSystem(t, 4, 2)
+		addr, _ := s.Alloc("grid", 32768)
+		if err := s.Start(func(w *Thread) {
+			for r := 0; r < 2; r++ {
+				for i := w.GlobalID(); i < 4096; i += w.Threads() * 8 {
+					w.WriteF64(addr+Addr(i*8), float64(i+r))
+				}
+				w.Barrier(r)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Stats()
+	}
+	a, b := run(), run()
+	if a.Total != b.Total || a.Wall != b.Wall {
+		t.Error("single-writer runs diverged")
+	}
+}
+
+func TestSWWriteInvalidatesReaders(t *testing.T) {
+	// Readers join the copyset; a subsequent writer must invalidate every
+	// copy, and the readers must re-fetch the new value.
+	s := swSystem(t, 4, 1)
+	addr, _ := s.Alloc("x", 8192)
+	got := make([]float64, 4)
+	runApp(t, s, func(w *Thread) {
+		// Round 1: node 3 writes, everyone reads (copyset = all).
+		if w.NodeID() == 3 {
+			w.WriteF64(addr, 1)
+		}
+		w.Barrier(0)
+		_ = w.ReadF64(addr)
+		w.Barrier(1)
+		// Round 2: node 1 writes — must invalidate nodes 0, 2, 3.
+		if w.NodeID() == 1 {
+			w.WriteF64(addr, 2)
+		}
+		w.Barrier(2)
+		got[w.NodeID()] = w.ReadF64(addr)
+		w.Barrier(3)
+	})
+	for i, v := range got {
+		if v != 2 {
+			t.Errorf("node %d read %v after invalidation round, want 2", i, v)
+		}
+	}
+}
+
+func TestSWQueuedTransactions(t *testing.T) {
+	// Concurrent write faults on one page from several nodes serialize
+	// through the directory's transaction queue; all updates to distinct
+	// words must survive.
+	s := swSystem(t, 4, 2)
+	addr, _ := s.Alloc("x", 8192)
+	var sum float64
+	runApp(t, s, func(w *Thread) {
+		w.WriteF64(addr+Addr(w.GlobalID()*8), float64(w.GlobalID()+1))
+		w.Barrier(0)
+		if w.GlobalID() == 0 {
+			for i := 0; i < w.Threads(); i++ {
+				sum += w.ReadF64(addr + Addr(i*8))
+			}
+		}
+		w.Barrier(1)
+	})
+	if want := 36.0; sum != want {
+		t.Errorf("sum = %v, want %v (lost concurrent writes)", sum, want)
+	}
+}

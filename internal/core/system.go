@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cvm/internal/memsim"
+	"cvm/internal/netsim"
+	"cvm/internal/sim"
+)
+
+// Config parameterizes a simulated CVM cluster.
+type Config struct {
+	Nodes          int // processors (one per node, as in the paper)
+	ThreadsPerNode int // application threads multiplexed per node
+
+	// Protocol selects the coherence protocol: the paper's lazy
+	// multi-writer release consistency (default) or the single-writer
+	// write-invalidate baseline.
+	Protocol Protocol
+
+	PageSize int // coherence unit; the paper uses the Alpha's 8 KB pages
+
+	Net netsim.Params // interconnect costs
+	Mem memsim.Params // cache/TLB geometry and costs
+
+	SwitchCost   sim.Time // non-preemptive thread switch (paper: 8 µs)
+	SignalCost   sim.Time // user-level SIGSEGV delivery (paper: 98 µs)
+	MprotectCost sim.Time // one protection change (paper: 49 µs)
+
+	LockLocalCost    sim.Time // local lock fast path bookkeeping
+	LocalBarrierCost sim.Time // local barrier release bookkeeping
+	DiffServeCost    sim.Time // handler time to serve a stored diff
+	DiffCreateCost   sim.Time // extra handler time to materialize a diff
+
+	// DetectRaces enables the multi-writer data-race detector: the paper
+	// notes that "concurrent diffs only overlap if the same location is
+	// written by multiple processors without intervening synchronization,
+	// which is probably a data race". With this set, every fault compares
+	// concurrent incoming diffs pairwise and counts overlaps in
+	// NodeStats.RacesDetected (quadratic in diffs per fault; off by
+	// default).
+	DetectRaces bool
+
+	// LIFOScheduler selects the memory-conscious run-queue discipline
+	// the paper proposes in §5 ("closer to LIFO than FIFO"): the most
+	// recently readied thread runs first, preserving its cache and TLB
+	// state. CVM's original scheduler — and the default here — is FIFO.
+	LIFOScheduler bool
+}
+
+// DefaultConfig returns the paper's cluster calibration for the given
+// shape: Alpha-like memory geometry, ATM-like interconnect, 8 µs thread
+// switches.
+func DefaultConfig(nodes, threadsPerNode int) Config {
+	return Config{
+		Nodes:            nodes,
+		ThreadsPerNode:   threadsPerNode,
+		PageSize:         8 << 10,
+		Net:              netsim.DefaultParams(),
+		Mem:              memsim.SP2Params(),
+		SwitchCost:       8 * sim.Microsecond,
+		SignalCost:       98 * sim.Microsecond,
+		MprotectCost:     49 * sim.Microsecond,
+		LockLocalCost:    3 * sim.Microsecond,
+		LocalBarrierCost: 5 * sim.Microsecond,
+		DiffServeCost:    10 * sim.Microsecond,
+		DiffCreateCost:   40 * sim.Microsecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return errors.New("core: Nodes must be ≥ 1")
+	case c.ThreadsPerNode < 1:
+		return errors.New("core: ThreadsPerNode must be ≥ 1")
+	case c.PageSize < 64 || c.PageSize&(c.PageSize-1) != 0:
+		return fmt.Errorf("core: PageSize %d must be a power of two ≥ 64", c.PageSize)
+	}
+	return nil
+}
+
+// Segment names an allocated shared-memory region.
+type Segment struct {
+	Name string
+	Base Addr
+	Size int
+}
+
+// System is a simulated CVM cluster: the engine, network, per-node
+// memory systems, DSM state, and the application threads.
+type System struct {
+	cfg       Config
+	eng       *sim.Engine
+	net       *netsim.Network
+	nodes     []*node
+	pageShift uint
+
+	segments  []Segment
+	allocated Addr
+
+	episodes       map[int]*barrierEpisode
+	reduceEpisodes map[int]*reduceEpisode
+
+	threadByTask map[int]*Thread
+	started      bool
+	t0           sim.Time
+}
+
+// NewSystem builds a cluster from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mem.PageSize != cfg.PageSize {
+		cfg.Mem.PageSize = cfg.PageSize
+	}
+	eng := sim.NewEngine()
+	s := &System{
+		cfg:            cfg,
+		eng:            eng,
+		net:            netsim.New(eng, cfg.Nodes, cfg.Net),
+		pageShift:      log2(cfg.PageSize),
+		episodes:       make(map[int]*barrierEpisode),
+		reduceEpisodes: make(map[int]*reduceEpisode),
+		threadByTask:   make(map[int]*Thread),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		proc := eng.AddProc(cfg.SwitchCost)
+		proc.SetLIFO(cfg.LIFOScheduler)
+		mem := memsim.NewSystem(cfg.Mem)
+		s.nodes = append(s.nodes, newNode(s, i, proc, mem))
+	}
+	return s, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Engine exposes the underlying simulator (for tests and tools).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Network exposes the simulated interconnect (for traffic statistics).
+func (s *System) Network() *netsim.Network { return s.net }
+
+// Alloc reserves a page-aligned shared segment and returns its base
+// address. All allocation must happen before Start.
+func (s *System) Alloc(name string, size int) (Addr, error) {
+	if s.started {
+		return 0, errors.New("core: Alloc after Start")
+	}
+	if size <= 0 {
+		return 0, fmt.Errorf("core: Alloc %q with size %d", name, size)
+	}
+	base := s.allocated
+	pages := (size + s.cfg.PageSize - 1) / s.cfg.PageSize
+	s.allocated += Addr(pages * s.cfg.PageSize)
+	s.segments = append(s.segments, Segment{Name: name, Base: base, Size: size})
+	return base, nil
+}
+
+// Segments returns the allocated shared segments.
+func (s *System) Segments() []Segment { return s.segments }
+
+// Start spawns Nodes × ThreadsPerNode application threads, each running
+// main. Threads are numbered contiguously per node.
+func (s *System) Start(main func(*Thread)) error {
+	if s.started {
+		return errors.New("core: Start called twice")
+	}
+	s.started = true
+	totalPages := int(s.allocated) >> s.pageShift
+	for _, n := range s.nodes {
+		n.pages = make([]*page, totalPages)
+	}
+	for i := 0; i < s.cfg.Nodes; i++ {
+		n := s.nodes[i]
+		for j := 0; j < s.cfg.ThreadsPerNode; j++ {
+			th := &Thread{
+				node: n,
+				sys:  s,
+				gid:  i*s.cfg.ThreadsPerNode + j,
+				lid:  j,
+			}
+			name := fmt.Sprintf("n%dt%d", i, j)
+			task := s.eng.Spawn(n.proc, name, func(tk *sim.Task) {
+				main(th)
+			})
+			th.task = task
+			n.threads = append(n.threads, th)
+			s.threadByTask[task.ID()] = th
+		}
+	}
+	return nil
+}
+
+// Run executes the simulation to completion.
+func (s *System) Run() error {
+	err := s.eng.Run()
+	if err != nil {
+		s.eng.Shutdown()
+	}
+	return err
+}
+
+func (s *System) threadOf(task *sim.Task) *Thread { return s.threadByTask[task.ID()] }
+
+// MarkSteadyState zeroes every statistics counter and sets the time
+// origin, so that reported results cover only the steady-state portion of
+// the run. Applications call it from one thread immediately after their
+// initialization barrier, mirroring the paper's exclusion of startup.
+func (t *Thread) MarkSteadyState() {
+	s := t.sys
+	s.t0 = t.task.Now()
+	s.net.ResetStats()
+	for _, n := range s.nodes {
+		n.stats = NodeStats{}
+		n.mem.ResetStats()
+	}
+}
+
+// RunStats aggregates a finished run's statistics.
+type RunStats struct {
+	Nodes    []NodeStats // per-node DSM counters and time breakdown
+	Mem      []memsim.Stats
+	Net      netsim.Stats
+	Total    NodeStats    // sum over nodes
+	MemTotal memsim.Stats // sum over nodes
+	Wall     sim.Time     // steady-state wall time (max node clock − t0)
+}
+
+// Stats collects the run's statistics. Call after Run returns.
+func (s *System) Stats() RunStats {
+	rs := RunStats{Net: s.net.Stats()}
+	for _, n := range s.nodes {
+		rs.Nodes = append(rs.Nodes, n.stats)
+		rs.Total.Add(n.stats)
+		ms := n.mem.Stats()
+		rs.Mem = append(rs.Mem, ms)
+		rs.MemTotal.Add(ms)
+		if wall := n.proc.Clock() - s.t0; wall > rs.Wall {
+			rs.Wall = wall
+		}
+	}
+	return rs
+}
+
+func log2(n int) uint {
+	var b uint
+	for 1<<b < n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"cvm/internal/sim"
+)
+
+// Thread is one application thread of the DSM: the handle through which
+// application code accesses shared memory and synchronizes. Threads are
+// created by System.Start; all methods must be called from the thread's
+// own function.
+type Thread struct {
+	task *sim.Task
+	node *node
+	sys  *System
+
+	gid int // global thread id: node*threadsPerNode + lid
+	lid int // local thread id within the node
+
+	phase   int // application code phase, for the I-TLB model
+	codeRot int
+}
+
+// GlobalID reports the thread's global index in [0, Threads()).
+// Threads are numbered contiguously per node, so consecutive IDs are
+// co-located — the layout the paper's applications assume.
+func (t *Thread) GlobalID() int { return t.gid }
+
+// LocalID reports the thread's index within its node.
+func (t *Thread) LocalID() int { return t.lid }
+
+// NodeID reports the node the thread runs on.
+func (t *Thread) NodeID() int { return t.node.id }
+
+// Threads reports the total number of application threads.
+func (t *Thread) Threads() int { return t.sys.cfg.Nodes * t.sys.cfg.ThreadsPerNode }
+
+// Nodes reports the number of nodes.
+func (t *Thread) Nodes() int { return t.sys.cfg.Nodes }
+
+// LocalThreads reports the number of threads per node.
+func (t *Thread) LocalThreads() int { return t.sys.cfg.ThreadsPerNode }
+
+// Now reports the thread's current virtual time.
+func (t *Thread) Now() sim.Time { return t.task.Now() }
+
+// Compute charges d of pure computation (work not expressed as shared
+// accesses) to the thread.
+func (t *Thread) Compute(d sim.Time) { t.task.Advance(d) }
+
+// Yield requests an explicit thread switch (a CVM system call), moving
+// the thread to the back of its node's run queue.
+func (t *Thread) Yield() { t.task.Yield() }
+
+// Phase declares the application code region the thread is executing,
+// driving the synthetic instruction-locality model. Distinct phases have
+// distinct code footprints; switching between threads in different phases
+// pressures the I-TLB.
+func (t *Thread) Phase(p int) {
+	if t.phase != p {
+		t.phase = p
+		t.touchPhaseCode()
+	}
+}
+
+// touchPhaseCode touches the thread's current code footprint in the
+// I-TLB (on phase entry and when the thread is switched in).
+func (t *Thread) touchPhaseCode() {
+	base := phaseCodeBase(t.phase)
+	for k := uint64(0); k < phaseCodePages; k++ {
+		t.node.mem.InstrTouch(base + k)
+	}
+}
+
+const phaseCodePages = 3
+
+func phaseCodeBase(phase int) uint64 { return 2<<40 + uint64(phase)*phaseCodePages }
+
+// locate resolves a shared address to the node's page view.
+func (t *Thread) locate(a Addr) (*page, int) {
+	pg := PageID(a >> t.sys.pageShift)
+	off := int(a & (Addr(t.sys.cfg.PageSize) - 1))
+	return t.node.pageAt(pg), off
+}
+
+// pageVA is the simulated virtual address of a page, fed to the memory
+// hierarchy model. Shared pages live at the bottom of the address space
+// on every node.
+func (t *Thread) pageVA(pg PageID) uint64 {
+	return uint64(pg) << t.sys.pageShift
+}
+
+// charge runs one data access through the node's cache and TLB simulator
+// plus the rotating instruction-fetch touch, charging the cost.
+func (t *Thread) charge(a Addr) {
+	cost := t.node.mem.Access(uint64(a))
+	t.codeRot++
+	cost += t.node.mem.InstrTouch(phaseCodeBase(t.phase) + uint64(t.codeRot)%phaseCodePages)
+	t.task.Advance(cost)
+}
+
+// ReadF64 reads a float64 from shared memory.
+func (t *Thread) ReadF64(a Addr) float64 {
+	return math.Float64frombits(t.read8(a))
+}
+
+// WriteF64 writes a float64 to shared memory.
+func (t *Thread) WriteF64(a Addr, v float64) {
+	t.write8(a, math.Float64bits(v))
+}
+
+// ReadI64 reads an int64 from shared memory.
+func (t *Thread) ReadI64(a Addr) int64 { return int64(t.read8(a)) }
+
+// WriteI64 writes an int64 to shared memory.
+func (t *Thread) WriteI64(a Addr, v int64) { t.write8(a, uint64(v)) }
+
+// read8/write8 perform the data access immediately after ensureAccess
+// returns, before charging the memory-system cost: charging can yield to
+// the engine, and a message handler running during the yield may downgrade
+// the page (consume its twin to serve a diff, or invalidate it on a write
+// notice). In the real CVM the access and the protection check are atomic
+// — the hardware faults mid-instruction — so the simulation must not allow
+// a handler between check and access either.
+func (t *Thread) read8(a Addr) uint64 {
+	p, off := t.locate(a)
+	t.ensureAccess(p, false)
+	var v uint64
+	if p.data != nil {
+		v = binary.LittleEndian.Uint64(p.data[off:])
+	}
+	t.charge(a)
+	return v
+}
+
+func (t *Thread) write8(a Addr, v uint64) {
+	p, off := t.locate(a)
+	for {
+		t.ensureAccess(p, true)
+		if p.state == PageReadWrite {
+			binary.LittleEndian.PutUint64(p.data[off:], v)
+			break
+		}
+		// A handler downgraded the page while ensureAccess was charging
+		// fault costs; run the fault state machine again.
+	}
+	t.charge(a)
+}
+
+// TouchPrivate models an access to thread-private memory (stack or heap):
+// it exercises the node's cache and TLB without touching shared state.
+// idx is an arbitrary index into the thread's private region.
+func (t *Thread) TouchPrivate(idx int) {
+	va := 1<<41 + uint64(t.gid)<<30 + uint64(idx)*8
+	t.task.Advance(t.node.mem.Access(va))
+}

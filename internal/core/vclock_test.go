@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVClockBasics(t *testing.T) {
+	v := NewVClock(3)
+	w := NewVClock(3)
+	if !v.Covers(w) || !w.Covers(v) {
+		t.Error("zero clocks must cover each other")
+	}
+	v[1] = 5
+	if !v.Covers(w) {
+		t.Error("advanced clock must cover zero clock")
+	}
+	if w.Covers(v) {
+		t.Error("zero clock must not cover advanced clock")
+	}
+	if !w.Before(v) {
+		t.Error("zero clock must be Before advanced clock")
+	}
+	if v.Before(w) {
+		t.Error("advanced clock must not be Before zero clock")
+	}
+	if v.Before(v) {
+		t.Error("Before must be irreflexive")
+	}
+}
+
+func TestVClockConcurrent(t *testing.T) {
+	a := VClock{1, 0}
+	b := VClock{0, 1}
+	if a.Before(b) || b.Before(a) {
+		t.Error("incomparable clocks must not be ordered")
+	}
+	if a.Covers(b) || b.Covers(a) {
+		t.Error("incomparable clocks must not cover each other")
+	}
+}
+
+func TestVClockMerge(t *testing.T) {
+	a := VClock{1, 5, 2}
+	b := VClock{3, 1, 2}
+	a.Merge(b)
+	want := VClock{3, 5, 2}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestVClockCoversInterval(t *testing.T) {
+	v := VClock{2, 0}
+	if !v.CoversInterval(0, 2) || !v.CoversInterval(0, 1) {
+		t.Error("covered intervals reported uncovered")
+	}
+	if v.CoversInterval(0, 3) || v.CoversInterval(1, 1) {
+		t.Error("uncovered intervals reported covered")
+	}
+}
+
+func clamp(xs []int32) VClock {
+	v := make(VClock, 4)
+	for i := range v {
+		if i < len(xs) {
+			x := xs[i]
+			if x < 0 {
+				x = -x
+			}
+			v[i] = x % 100
+		}
+	}
+	return v
+}
+
+func TestVClockMergeProperties(t *testing.T) {
+	// Merge produces the least upper bound: it covers both inputs, and
+	// anything covering both inputs covers the merge.
+	f := func(xs, ys, zs []int32) bool {
+		a, b := clamp(xs), clamp(ys)
+		m := a.Clone()
+		m.Merge(b)
+		if !m.Covers(a) || !m.Covers(b) {
+			return false
+		}
+		c := clamp(zs)
+		if c.Covers(a) && c.Covers(b) && !c.Covers(m) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVClockBeforeAntisymmetric(t *testing.T) {
+	f := func(xs, ys []int32) bool {
+		a, b := clamp(xs), clamp(ys)
+		return !(a.Before(b) && b.Before(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVClockBeforeTransitive(t *testing.T) {
+	f := func(xs, ys, zs []int32) bool {
+		a, b, c := clamp(xs), clamp(ys), clamp(zs)
+		if a.Before(b) && b.Before(c) {
+			return a.Before(c)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"cvm"
+	"cvm/internal/apps"
+	"cvm/internal/sim"
+)
+
+// AblationRow records the multi-threading benefit of one application
+// under one modified cluster parameter: speedup of T=4 over T=1 at 8
+// nodes.
+type AblationRow struct {
+	Param      string
+	Value      string
+	App        string
+	WallT1     cvm.Time
+	WallT4     cvm.Time
+	SpeedupPct float64
+}
+
+// AblationSwitchCost sweeps the thread-switch cost. The paper lists
+// switch cost as limiting factor #5: "efficient thread switching is
+// crucial to getting good coverage of remote latency". The benefit should
+// erode as switches grow expensive.
+func AblationSwitchCost(appName string, size apps.Size) ([]AblationRow, error) {
+	costs := []sim.Time{
+		8 * sim.Microsecond, // the paper's measured cost
+		50 * sim.Microsecond,
+		200 * sim.Microsecond,
+		1000 * sim.Microsecond,
+	}
+	var rows []AblationRow
+	for _, c := range costs {
+		row, err := ablate(appName, size, fmt.Sprintf("%v", c), "switch-cost",
+			func(cfg *cvm.Config) { cfg.SwitchCost = c })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationWireLatency sweeps the interconnect wire latency. The paper's
+// premise is that multi-threading pays in proportion to remote latency;
+// the benefit should grow as the wire slows.
+func AblationWireLatency(appName string, size apps.Size) ([]AblationRow, error) {
+	factors := []struct {
+		label string
+		mul   int
+		div   int
+	}{
+		{"0.5x", 1, 2},
+		{"1x (paper)", 1, 1},
+		{"2x", 2, 1},
+		{"4x", 4, 1},
+	}
+	var rows []AblationRow
+	for _, f := range factors {
+		f := f
+		row, err := ablate(appName, size, f.label, "wire-latency",
+			func(cfg *cvm.Config) {
+				cfg.Net.WireLatency = cfg.Net.WireLatency * sim.Time(f.mul) / sim.Time(f.div)
+				cfg.Net.SendOverhead = cfg.Net.SendOverhead * sim.Time(f.mul) / sim.Time(f.div)
+				cfg.Net.RecvOverhead = cfg.Net.RecvOverhead * sim.Time(f.mul) / sim.Time(f.div)
+			})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ablate runs appName at 8 nodes with T=1 and T=4 under a modified
+// configuration and reports the multi-threading speedup.
+func ablate(appName string, size apps.Size, label, param string, mutate func(*cvm.Config)) (AblationRow, error) {
+	wall := func(threads int) (cvm.Time, error) {
+		cfg := cvm.DefaultConfig(8, threads)
+		mutate(&cfg)
+		st, err := apps.RunConfig(appName, size, cfg)
+		if err != nil {
+			return 0, fmt.Errorf("harness: ablation %s=%s T=%d: %w", param, label, threads, err)
+		}
+		return st.Wall, nil
+	}
+	t1, err := wall(1)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	t4, err := wall(4)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Param:      param,
+		Value:      label,
+		App:        appName,
+		WallT1:     t1,
+		WallT4:     t4,
+		SpeedupPct: 100 * (float64(t1)/float64(t4) - 1),
+	}, nil
+}
+
+// WriteAblation renders ablation rows.
+func WriteAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablation:", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "param\tvalue\tapp\twall T=1\twall T=4\tMT speedup\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%v\t%v\t%+.1f%%\t\n",
+			r.Param, r.Value, r.App, r.WallT1, r.WallT4, r.SpeedupPct)
+	}
+	tw.Flush()
+}
+
+// AblationScheduler compares the FIFO run queue (CVM's, and the paper's
+// factor #3 complaint) against the LIFO memory-conscious discipline the
+// paper proposes as future work, reporting cache behaviour and time.
+type SchedulerRow struct {
+	App          string
+	LIFO         bool
+	Wall         cvm.Time
+	DCacheMisses int64
+	ITLBMisses   int64
+}
+
+// AblationScheduler runs appName at 8 nodes × 4 threads under both
+// run-queue disciplines.
+func AblationScheduler(appName string, size apps.Size) ([]SchedulerRow, error) {
+	var rows []SchedulerRow
+	for _, lifo := range []bool{false, true} {
+		cfg := cvm.DefaultConfig(8, 4)
+		cfg.LIFOScheduler = lifo
+		st, err := apps.RunConfig(appName, size, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: scheduler ablation lifo=%v: %w", lifo, err)
+		}
+		rows = append(rows, SchedulerRow{
+			App:          appName,
+			LIFO:         lifo,
+			Wall:         st.Wall,
+			DCacheMisses: st.MemTotal.DCacheMisses,
+			ITLBMisses:   st.MemTotal.ITLBMisses,
+		})
+	}
+	return rows, nil
+}
+
+// WriteSchedulerAblation renders the scheduler comparison.
+func WriteSchedulerAblation(w io.Writer, rows []SchedulerRow) {
+	fmt.Fprintln(w, "Ablation: FIFO vs LIFO thread scheduling (paper §5, factor #3)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "app\tqueue\twall\tD-cache misses\tI-TLB misses\t")
+	for _, r := range rows {
+		q := "FIFO"
+		if r.LIFO {
+			q = "LIFO"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%d\t%d\t\n", r.App, q, r.Wall, r.DCacheMisses, r.ITLBMisses)
+	}
+	tw.Flush()
+}

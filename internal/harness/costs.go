@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"cvm"
+)
+
+// Costs are the measured primitive costs of §4.1.
+type Costs struct {
+	TwoHopLock   cvm.Time // paper: 937 µs
+	ThreeHopLock cvm.Time // paper: 1382 µs
+	PageFault    cvm.Time // paper: ~1100 µs
+	Barrier8     cvm.Time // paper: 2470 µs (simultaneous arrivals)
+	ThreadSwitch cvm.Time // paper: 8 µs
+}
+
+// MeasureCosts runs the §4.1 microbenchmarks on a default-calibrated
+// cluster.
+func MeasureCosts() (Costs, error) {
+	var c Costs
+
+	// 2-hop lock: the manager holds the free token.
+	if err := micro(2, 1, func(w *cvm.Worker) {
+		if w.NodeID() == 1 {
+			start := w.Now()
+			w.Lock(0)
+			c.TwoHopLock = w.Now() - start
+			w.Unlock(0)
+		}
+	}); err != nil {
+		return c, err
+	}
+
+	// 3-hop lock: the token is at a third node.
+	if err := micro(3, 1, func(w *cvm.Worker) {
+		if w.NodeID() == 1 {
+			w.Lock(0)
+			w.Unlock(0)
+		}
+		w.Barrier(0)
+		if w.NodeID() == 2 {
+			start := w.Now()
+			w.Lock(0)
+			c.ThreeHopLock = w.Now() - start
+			w.Unlock(0)
+		}
+	}); err != nil {
+		return c, err
+	}
+
+	// Remote page fault fetching a full-page diff.
+	if err := microAlloc(2, 1, 8192, func(w *cvm.Worker, addr cvm.Addr) {
+		if w.NodeID() == 0 {
+			for i := 0; i < 8192; i += 8 {
+				w.WriteF64(addr+cvm.Addr(i), float64(i))
+			}
+		}
+		w.Barrier(0)
+		if w.NodeID() == 1 {
+			start := w.Now()
+			_ = w.ReadF64(addr)
+			c.PageFault = w.Now() - start
+		}
+	}); err != nil {
+		return c, err
+	}
+
+	// Minimal 8-processor barrier, back-to-back.
+	if err := micro(8, 1, func(w *cvm.Worker) {
+		w.Barrier(0)
+		start := w.Now()
+		w.Barrier(1)
+		if w.NodeID() == 7 {
+			c.Barrier8 = w.Now() - start
+		}
+	}); err != nil {
+		return c, err
+	}
+
+	// Thread switch.
+	var t0End, t1Start cvm.Time
+	if err := micro(1, 2, func(w *cvm.Worker) {
+		if w.LocalID() == 0 {
+			w.Compute(10 * cvm.Microsecond)
+			t0End = w.Now()
+			w.Yield()
+		} else {
+			t1Start = w.Now()
+		}
+	}); err != nil {
+		return c, err
+	}
+	c.ThreadSwitch = t1Start - t0End
+
+	return c, nil
+}
+
+func micro(nodes, threads int, main func(*cvm.Worker)) error {
+	return microAlloc(nodes, threads, 8192, func(w *cvm.Worker, _ cvm.Addr) { main(w) })
+}
+
+func microAlloc(nodes, threads, bytes int, main func(*cvm.Worker, cvm.Addr)) error {
+	cluster, err := cvm.New(cvm.DefaultConfig(nodes, threads))
+	if err != nil {
+		return err
+	}
+	addr := cluster.MustAlloc("micro", bytes)
+	_, err = cluster.Run(func(w *cvm.Worker) { main(w, addr) })
+	return err
+}
+
+// WriteCosts renders the §4.1 comparison.
+func WriteCosts(w io.Writer, c Costs) {
+	fmt.Fprintln(w, "Section 4.1: primitive costs (measured vs paper)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "primitive\tmeasured\tpaper\t")
+	fmt.Fprintf(tw, "2-hop lock acquire\t%v\t937µs\t\n", c.TwoHopLock)
+	fmt.Fprintf(tw, "3-hop lock acquire\t%v\t1382µs\t\n", c.ThreeHopLock)
+	fmt.Fprintf(tw, "remote page fault\t%v\t~1100µs\t\n", c.PageFault)
+	fmt.Fprintf(tw, "8-processor barrier\t%v\t2470µs\t\n", c.Barrier8)
+	fmt.Fprintf(tw, "thread switch\t%v\t8µs\t\n", c.ThreadSwitch)
+	tw.Flush()
+}

@@ -1,0 +1,85 @@
+// Package harness runs the paper's experiments and formats its tables and
+// figures: Figure 1 (normalized execution time), Table 2 (communication),
+// Table 3 (DSM actions), Figure 2 (memory system), Table 4 (scalability),
+// Table 5 (Water-Nsq optimizations), and the §4.1 cost microbenchmarks.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"cvm"
+	"cvm/internal/apps"
+)
+
+// Shape is one cluster configuration of an experiment grid.
+type Shape struct {
+	Nodes   int
+	Threads int
+}
+
+// Key identifies one run in a result set.
+type Key struct {
+	App     string
+	Nodes   int
+	Threads int
+}
+
+// Results caches run statistics per (app, shape).
+type Results map[Key]cvm.Stats
+
+// AppOrder is the paper's application ordering in figures and tables.
+var AppOrder = []string{"barnes", "fft", "ocean", "sor", "swm750", "watersp", "waternsq"}
+
+// ThreadLevels are the per-node threading levels the paper evaluates.
+var ThreadLevels = []int{1, 2, 3, 4}
+
+// RunGrid executes every application at every shape, validating results
+// against the sequential references. Shapes an application does not
+// support (Ocean at non-power-of-two threads) are skipped. Progress lines
+// go to progress when non-nil.
+func RunGrid(appNames []string, size apps.Size, shapes []Shape, progress io.Writer) (Results, error) {
+	res := make(Results, len(appNames)*len(shapes))
+	for _, name := range appNames {
+		for _, sh := range shapes {
+			app, err := apps.New(name, size)
+			if err != nil {
+				return nil, err
+			}
+			if !app.SupportsThreads(sh.Threads) {
+				continue
+			}
+			if progress != nil {
+				fmt.Fprintf(progress, "running %s %dx%d...\n", name, sh.Nodes, sh.Threads)
+			}
+			st, err := apps.Run(name, size, sh.Nodes, sh.Threads)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s %dx%d: %w", name, sh.Nodes, sh.Threads, err)
+			}
+			res[Key{name, sh.Nodes, sh.Threads}] = st
+		}
+	}
+	return res, nil
+}
+
+// GridShapes builds the cross product of node counts and thread levels.
+func GridShapes(nodes []int, threads []int) []Shape {
+	shapes := make([]Shape, 0, len(nodes)*len(threads))
+	for _, n := range nodes {
+		for _, t := range threads {
+			shapes = append(shapes, Shape{Nodes: n, Threads: t})
+		}
+	}
+	return shapes
+}
+
+// pct formats a relative change as a rounded percentage (Table 4 style).
+func pct(now, base int64) string {
+	if base == 0 {
+		if now == 0 {
+			return "0%"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.0f%%", 100*float64(now-base)/float64(base))
+}

@@ -1,0 +1,272 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"cvm/internal/apps"
+)
+
+// smallGrid runs a compact grid shared by the table tests.
+func smallGrid(t *testing.T) Results {
+	t.Helper()
+	res, err := RunGrid([]string{"sor", "waternsq"}, apps.SizeTest,
+		GridShapes([]int{4}, []int{1, 2}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunGridSkipsUnsupported(t *testing.T) {
+	res, err := RunGrid([]string{"ocean"}, apps.SizeTest,
+		GridShapes([]int{2}, []int{1, 2, 3, 4}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res[Key{"ocean", 2, 3}]; ok {
+		t.Error("grid contains ocean at 3 threads; must be skipped")
+	}
+	if _, ok := res[Key{"ocean", 2, 2}]; !ok {
+		t.Error("grid missing ocean at 2 threads")
+	}
+}
+
+func TestFigure1Normalization(t *testing.T) {
+	res := smallGrid(t)
+	rows := Figure1(res, []string{"sor", "waternsq"}, []int{4}, []int{1, 2})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Threads == 1 && (r.Norm < 0.999 || r.Norm > 1.001) {
+			t.Errorf("%s T=1 norm = %v, want 1.0", r.App, r.Norm)
+		}
+		sum := r.User + r.Barrier + r.Fault + r.Lock
+		if sum < r.Norm*0.999 || sum > r.Norm*1.001 {
+			t.Errorf("%s T=%d components sum %v != norm %v", r.App, r.Threads, sum, r.Norm)
+		}
+	}
+}
+
+func TestTable2Consistency(t *testing.T) {
+	res := smallGrid(t)
+	for _, r := range Table2(res, []string{"sor", "waternsq"}, 4, []int{1, 2}) {
+		if got := r.BarrierMsgs + r.LockMsgs + r.DiffMsgs; got != r.TotalMsgs {
+			t.Errorf("%s T=%d: class sum %d != total %d", r.App, r.Threads, got, r.TotalMsgs)
+		}
+		if r.App == "sor" && r.LockMsgs != 0 {
+			t.Errorf("sor lock msgs = %d, want 0", r.LockMsgs)
+		}
+		if r.App == "waternsq" && r.LockMsgs == 0 {
+			t.Error("waternsq lock msgs = 0, want > 0")
+		}
+	}
+}
+
+func TestTable3MultithreadingEffects(t *testing.T) {
+	res := smallGrid(t)
+	rows := Table3(res, []string{"sor"}, 4, []int{1, 2})
+	if rows[0].ThreadSwitches != 0 {
+		// T=1 has only scheduler drains; no useful switches between
+		// distinct application threads beyond startup.
+		t.Logf("note: single-thread switches = %d", rows[0].ThreadSwitches)
+	}
+	if rows[1].ThreadSwitches == 0 {
+		t.Error("T=2 thread switches = 0, want > 0")
+	}
+	if rows[1].OutstandingFaults == 0 {
+		t.Error("T=2 outstanding faults = 0, want > 0 (overlap)")
+	}
+	if rows[0].OutstandingFaults != 0 {
+		t.Errorf("T=1 outstanding faults = %d, want 0", rows[0].OutstandingFaults)
+	}
+}
+
+func TestTable4Percentages(t *testing.T) {
+	res := smallGrid(t)
+	rows := Table4(res, []string{"sor"}, []int{4}, []int{2})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	if rows[0].TotalMsgs == "" || rows[0].DiffsCreated == "" {
+		t.Error("empty percentage cells")
+	}
+}
+
+func TestPct(t *testing.T) {
+	tests := []struct {
+		now, base int64
+		want      string
+	}{
+		{110, 100, "+10%"},
+		{90, 100, "-10%"},
+		{100, 100, "+0%"},
+		{0, 0, "0%"},
+		{5, 0, "n/a"},
+	}
+	for _, tt := range tests {
+		if got := pct(tt.now, tt.base); got != tt.want {
+			t.Errorf("pct(%d,%d) = %q, want %q", tt.now, tt.base, got, tt.want)
+		}
+	}
+}
+
+func TestTable5Speedups(t *testing.T) {
+	rows, err := Table5(apps.SizeTest, 4, []int{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Threads == 1 && r.SpeedupPct != 0 {
+			t.Errorf("%s T=1 speedup = %v, want 0", r.Variant, r.SpeedupPct)
+		}
+	}
+	// Block Same Lock: zero for the local-barrier variants, positive for
+	// NoOpts at T=2 (Table 5's signature result).
+	for _, r := range rows {
+		switch {
+		case r.Variant == "waternsq-noopts" && r.Threads == 2 && r.BlockSameLock == 0:
+			t.Error("NoOpts T=2 BlockSameLock = 0, want > 0")
+		case r.Variant != "waternsq-noopts" && r.BlockSameLock != 0:
+			t.Errorf("%s T=%d BlockSameLock = %d, want 0", r.Variant, r.Threads, r.BlockSameLock)
+		}
+	}
+}
+
+func TestMeasureCosts(t *testing.T) {
+	c, err := MeasureCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name   string
+		got    int64
+		lo, hi int64
+	}{
+		{"2-hop lock", int64(c.TwoHopLock), 890_000, 990_000},
+		{"3-hop lock", int64(c.ThreeHopLock), 1_330_000, 1_460_000},
+		{"page fault", int64(c.PageFault), 950_000, 1_260_000},
+		{"barrier", int64(c.Barrier8), 1_400_000, 2_600_000},
+		{"thread switch", int64(c.ThreadSwitch), 8_000, 8_000},
+	}
+	for _, ck := range checks {
+		if ck.got < ck.lo || ck.got > ck.hi {
+			t.Errorf("%s = %dns, want within [%d, %d]", ck.name, ck.got, ck.lo, ck.hi)
+		}
+	}
+}
+
+func TestWritersProduceOutput(t *testing.T) {
+	res := smallGrid(t)
+	var sb strings.Builder
+	WriteFigure1(&sb, res, []string{"sor", "waternsq"}, []int{4}, []int{1, 2})
+	WriteTable2(&sb, res, []string{"sor", "waternsq"}, 4, []int{1, 2})
+	WriteTable3(&sb, res, []string{"sor", "waternsq"}, 4, []int{1, 2})
+	WriteTable4(&sb, res, []string{"sor", "waternsq"}, []int{4}, []int{2})
+	WriteFigure2(&sb, res, []string{"sor", "waternsq"}, 4, []int{1, 2})
+	out := sb.String()
+	for _, want := range []string{"Figure 1", "Table 2", "Table 3", "Table 4", "Figure 2", "sor", "waternsq"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestAblationSwitchCost(t *testing.T) {
+	rows, err := AblationSwitchCost("waternsq", apps.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// The multi-threading benefit must erode as switches get expensive
+	// (the paper's limiting factor #5).
+	if rows[0].SpeedupPct <= rows[len(rows)-1].SpeedupPct {
+		t.Errorf("speedup at 8µs (%+.1f%%) not greater than at 1ms (%+.1f%%)",
+			rows[0].SpeedupPct, rows[len(rows)-1].SpeedupPct)
+	}
+}
+
+func TestAblationWireLatency(t *testing.T) {
+	rows, err := AblationWireLatency("waternsq", apps.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// The benefit must grow with remote latency (the paper's premise).
+	if rows[len(rows)-1].SpeedupPct <= rows[0].SpeedupPct {
+		t.Errorf("speedup at 4x latency (%+.1f%%) not greater than at 0.5x (%+.1f%%)",
+			rows[len(rows)-1].SpeedupPct, rows[0].SpeedupPct)
+	}
+	var sb strings.Builder
+	WriteAblation(&sb, "wire", rows)
+	if !strings.Contains(sb.String(), "wire-latency") {
+		t.Error("WriteAblation output missing param name")
+	}
+}
+
+func TestAblationScheduler(t *testing.T) {
+	rows, err := AblationScheduler("sor", apps.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].LIFO || !rows[1].LIFO {
+		t.Fatalf("rows = %+v, want FIFO then LIFO", rows)
+	}
+	for _, r := range rows {
+		if r.Wall <= 0 {
+			t.Errorf("lifo=%v wall = %v, want > 0", r.LIFO, r.Wall)
+		}
+	}
+}
+
+func TestCompareProtocols(t *testing.T) {
+	rows, err := CompareProtocols([]string{"sor", "waternsq"}, apps.SizeTest, 4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.LRCWall <= 0 || r.SWWall <= 0 {
+			t.Errorf("%s: non-positive wall times %v / %v", r.App, r.LRCWall, r.SWWall)
+		}
+	}
+	// Water-Nsq's falsely-shared force pages must cost the single-writer
+	// protocol far more data movement (whole pages ping-pong).
+	for _, r := range rows {
+		if r.App == "waternsq" && r.SWKBytes <= r.LRCKBytes {
+			t.Errorf("waternsq: SW bytes %d not greater than LRC %d", r.SWKBytes, r.LRCKBytes)
+		}
+	}
+	var sb strings.Builder
+	WriteProtocols(&sb, rows, 4, 2)
+	if !strings.Contains(sb.String(), "single-writer") {
+		t.Error("WriteProtocols output missing header")
+	}
+}
+
+func TestRemainingWriters(t *testing.T) {
+	var sb strings.Builder
+	WriteCosts(&sb, Costs{TwoHopLock: 930000, ThreeHopLock: 1395000,
+		PageFault: 1196000, Barrier8: 1699000, ThreadSwitch: 8000})
+	WriteSchedulerAblation(&sb, []SchedulerRow{
+		{App: "sor", LIFO: false, Wall: 1000, DCacheMisses: 10, ITLBMisses: 1},
+		{App: "sor", LIFO: true, Wall: 900, DCacheMisses: 9, ITLBMisses: 1},
+	})
+	WriteTable5(&sb, []Table5Row{{Variant: "waternsq", Threads: 2, SpeedupPct: 6.6}})
+	out := sb.String()
+	for _, want := range []string{"937µs", "FIFO", "LIFO", "Table 5", "waternsq"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("writer output missing %q", want)
+		}
+	}
+}

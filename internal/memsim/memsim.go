@@ -1,0 +1,205 @@
+// Package memsim models each node's memory hierarchy: a set-associative
+// data cache, a set-associative data TLB, and an instruction TLB driven by
+// a synthetic code-footprint model. It produces the D-cache / D-TLB /
+// I-TLB miss counts of the paper's Figure 2 and charges hit and miss costs
+// into simulated user time.
+//
+// The paper measured Figure 2 on an IBM SP-2 (64 KB per-processor caches,
+// CVM forced to the Alpha's 8 KB page size); SP2Params reproduces that
+// geometry. The I-TLB model is synthetic — a simulation has no instruction
+// stream — and works from per-thread phase footprints: every access touches
+// the pages of the thread's current code phase, and every thread switch
+// touches scheduler code, so I-TLB pressure grows with switching exactly as
+// the paper observes.
+package memsim
+
+import "cvm/internal/sim"
+
+// Params describes one node's memory system.
+type Params struct {
+	CacheSize int // data cache capacity in bytes
+	LineSize  int // cache line size in bytes
+	CacheWays int // data cache associativity
+
+	PageSize int // virtual memory page size in bytes
+	DTLBSets int // data TLB sets
+	DTLBWays int // data TLB associativity
+	ITLBSets int // instruction TLB sets
+	ITLBWays int // instruction TLB associativity
+
+	HitCost      sim.Time // charged on every access (load/store + ALU work)
+	CacheMissPen sim.Time // extra on a data cache miss
+	TLBMissPen   sim.Time // extra on a data TLB miss
+	ITLBMissPen  sim.Time // extra on an instruction TLB miss
+}
+
+// SP2Params models the paper's SP-2 configuration: 64 KB data cache and
+// the Alpha's 8 KB pages forced as the coherence and paging unit.
+func SP2Params() Params {
+	return Params{
+		// Geometry is scaled below the SP-2's physical 64 KB cache and
+		// 512-entry TLB in proportion to the reduced default input
+		// sizes, so locality effects (Figure 2) appear at the same
+		// relative working-set pressure the paper measured.
+		CacheSize:    32 << 10,
+		LineSize:     64,
+		CacheWays:    4,
+		PageSize:     8 << 10,
+		DTLBSets:     8,
+		DTLBWays:     2,
+		ITLBSets:     4,
+		ITLBWays:     2,
+		HitCost:      50 * sim.Nanosecond,
+		CacheMissPen: 200 * sim.Nanosecond,
+		TLBMissPen:   350 * sim.Nanosecond,
+		ITLBMissPen:  350 * sim.Nanosecond,
+	}
+}
+
+// AlphaParams models one Alpha 2100 4/275 processor: 16 KB direct-mapped
+// first-level cache and 8 KB pages. (The 4 MB second-level cache is not
+// modeled; first-level misses dominate the locality effects of interest.)
+func AlphaParams() Params {
+	p := SP2Params()
+	p.CacheSize = 16 << 10
+	p.LineSize = 32
+	p.CacheWays = 1
+	return p
+}
+
+// Stats holds cumulative counters for one node's memory system.
+type Stats struct {
+	Accesses     int64
+	DCacheMisses int64
+	DTLBMisses   int64
+	ITLBMisses   int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.DCacheMisses += other.DCacheMisses
+	s.DTLBMisses += other.DTLBMisses
+	s.ITLBMisses += other.ITLBMisses
+}
+
+// assoc is a set-associative tag array with per-set LRU replacement. It
+// backs both the cache and the TLBs.
+type assoc struct {
+	sets  int
+	ways  int
+	tags  []uint64 // sets*ways entries; tag 0 means empty (tags stored +1)
+	stamp []int64  // LRU stamps, parallel to tags
+	tick  int64
+}
+
+func newAssoc(sets, ways int) *assoc {
+	return &assoc{
+		sets:  sets,
+		ways:  ways,
+		tags:  make([]uint64, sets*ways),
+		stamp: make([]int64, sets*ways),
+	}
+}
+
+// touch looks up key; it returns true on hit. On miss the LRU way of the
+// set is replaced.
+func (a *assoc) touch(key uint64) bool {
+	set := int(key % uint64(a.sets))
+	base := set * a.ways
+	a.tick++
+	stored := key + 1
+	victim := base
+	for i := base; i < base+a.ways; i++ {
+		if a.tags[i] == stored {
+			a.stamp[i] = a.tick
+			return true
+		}
+		if a.stamp[i] < a.stamp[victim] {
+			victim = i
+		}
+	}
+	a.tags[victim] = stored
+	a.stamp[victim] = a.tick
+	return false
+}
+
+// System simulates one node's memory hierarchy.
+type System struct {
+	params Params
+	dcache *assoc
+	dtlb   *assoc
+	itlb   *assoc
+	stats  Stats
+
+	lineShift uint
+	pageShift uint
+}
+
+// NewSystem returns a memory system with the given geometry.
+func NewSystem(p Params) *System {
+	cacheSets := p.CacheSize / (p.LineSize * p.CacheWays)
+	return &System{
+		params:    p,
+		dcache:    newAssoc(cacheSets, p.CacheWays),
+		dtlb:      newAssoc(p.DTLBSets, p.DTLBWays),
+		itlb:      newAssoc(p.ITLBSets, p.ITLBWays),
+		lineShift: log2(p.LineSize),
+		pageShift: log2(p.PageSize),
+	}
+}
+
+// Params returns the system's geometry.
+func (s *System) Params() Params { return s.params }
+
+// Stats returns a snapshot of the miss counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters (cache and TLB contents are kept).
+func (s *System) ResetStats() { s.stats = Stats{} }
+
+// Access simulates one data access at the given virtual address and
+// returns the time cost to charge to the accessing thread.
+func (s *System) Access(addr uint64) sim.Time {
+	s.stats.Accesses++
+	cost := s.params.HitCost
+	if !s.dcache.touch(addr >> s.lineShift) {
+		s.stats.DCacheMisses++
+		cost += s.params.CacheMissPen
+	}
+	if !s.dtlb.touch(addr >> s.pageShift) {
+		s.stats.DTLBMisses++
+		cost += s.params.TLBMissPen
+	}
+	return cost
+}
+
+// AccessRange simulates a sequential multi-byte access (e.g. a block copy)
+// touching every line in [addr, addr+n).
+func (s *System) AccessRange(addr uint64, n int) sim.Time {
+	var cost sim.Time
+	line := uint64(s.params.LineSize)
+	first := addr &^ (line - 1)
+	for a := first; a < addr+uint64(n); a += line {
+		cost += s.Access(a)
+	}
+	return cost
+}
+
+// InstrTouch simulates instruction fetch from the given synthetic code
+// page and returns the cost to charge (zero on an I-TLB hit).
+func (s *System) InstrTouch(codePage uint64) sim.Time {
+	if s.itlb.touch(codePage) {
+		return 0
+	}
+	s.stats.ITLBMisses++
+	return s.params.ITLBMissPen
+}
+
+func log2(n int) uint {
+	var b uint
+	for 1<<b < n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,235 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cvm/internal/sim"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	s := NewSystem(SP2Params())
+	c1 := s.Access(0x1000)
+	c2 := s.Access(0x1000)
+	if c1 <= c2 {
+		t.Errorf("cold access cost %v not greater than warm cost %v", c1, c2)
+	}
+	st := s.Stats()
+	if st.Accesses != 2 {
+		t.Errorf("accesses = %d, want 2", st.Accesses)
+	}
+	if st.DCacheMisses != 1 {
+		t.Errorf("dcache misses = %d, want 1", st.DCacheMisses)
+	}
+	if st.DTLBMisses != 1 {
+		t.Errorf("dtlb misses = %d, want 1", st.DTLBMisses)
+	}
+	if c2 != SP2Params().HitCost {
+		t.Errorf("warm cost = %v, want pure hit cost %v", c2, SP2Params().HitCost)
+	}
+}
+
+func TestSameLineSharesEntry(t *testing.T) {
+	s := NewSystem(SP2Params())
+	s.Access(0x2000)
+	if got := s.Access(0x2000 + 8); got != SP2Params().HitCost {
+		t.Errorf("same-line access cost = %v, want hit", got)
+	}
+	if s.Stats().DCacheMisses != 1 {
+		t.Errorf("dcache misses = %d, want 1", s.Stats().DCacheMisses)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	p := SP2Params()
+	s := NewSystem(p)
+	// Stream through 2x the cache size, then revisit the start: the first
+	// lines must have been evicted.
+	span := 2 * p.CacheSize
+	for a := 0; a < span; a += p.LineSize {
+		s.Access(uint64(a))
+	}
+	before := s.Stats().DCacheMisses
+	s.Access(0)
+	if s.Stats().DCacheMisses != before+1 {
+		t.Error("line 0 survived a 2x-capacity streaming sweep")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// With 4 ways, 4 distinct tags mapping to one set all fit; a 5th
+	// evicts the least recently used.
+	p := SP2Params()
+	s := NewSystem(p)
+	sets := p.CacheSize / (p.LineSize * p.CacheWays)
+	stride := uint64(sets * p.LineSize) // same set every time
+	for i := uint64(0); i < 4; i++ {
+		s.Access(i * stride)
+	}
+	// Touch tag 0 to make tag 1 the LRU victim.
+	s.Access(0)
+	s.Access(4 * stride) // evicts tag 1
+	before := s.Stats().DCacheMisses
+	s.Access(0) // still resident
+	if s.Stats().DCacheMisses != before {
+		t.Error("recently-used line was evicted instead of LRU line")
+	}
+	s.Access(1 * stride) // evicted: must miss
+	if s.Stats().DCacheMisses != before+1 {
+		t.Error("LRU line was not evicted")
+	}
+}
+
+func TestDTLBPageGranularity(t *testing.T) {
+	p := SP2Params()
+	s := NewSystem(p)
+	s.Access(0)
+	s.Access(uint64(p.PageSize - 8)) // same page, different line
+	if s.Stats().DTLBMisses != 1 {
+		t.Errorf("dtlb misses = %d, want 1 (same page)", s.Stats().DTLBMisses)
+	}
+	s.Access(uint64(p.PageSize)) // next page
+	if s.Stats().DTLBMisses != 2 {
+		t.Errorf("dtlb misses = %d, want 2", s.Stats().DTLBMisses)
+	}
+}
+
+func TestITLBModel(t *testing.T) {
+	s := NewSystem(SP2Params())
+	if cost := s.InstrTouch(1); cost == 0 {
+		t.Error("cold I-TLB touch cost = 0, want miss penalty")
+	}
+	if cost := s.InstrTouch(1); cost != 0 {
+		t.Error("warm I-TLB touch cost != 0")
+	}
+	if s.Stats().ITLBMisses != 1 {
+		t.Errorf("itlb misses = %d, want 1", s.Stats().ITLBMisses)
+	}
+	// Cycling through more code pages than the I-TLB holds must keep
+	// missing.
+	p := SP2Params()
+	capacity := p.ITLBSets * p.ITLBWays
+	before := s.Stats().ITLBMisses
+	for round := 0; round < 3; round++ {
+		for pg := uint64(100); pg < uint64(100+2*capacity); pg++ {
+			s.InstrTouch(pg)
+		}
+	}
+	got := s.Stats().ITLBMisses - before
+	if got < int64(4*capacity) {
+		t.Errorf("thrashing I-TLB missed %d times, want ≥ %d", got, 4*capacity)
+	}
+}
+
+func TestAccessRangeTouchesEveryLine(t *testing.T) {
+	p := SP2Params()
+	s := NewSystem(p)
+	s.AccessRange(0, 8*p.LineSize)
+	if got := s.Stats().DCacheMisses; got != 8 {
+		t.Errorf("range sweep missed %d lines, want 8", got)
+	}
+}
+
+func TestThreadInterleavingDegradesLocality(t *testing.T) {
+	// The paper's central memory-system observation: interleaving the
+	// access streams of multiple threads produces more cache misses than
+	// running the same streams back-to-back.
+	p := SP2Params()
+	run := func(interleave bool) int64 {
+		s := NewSystem(p)
+		const threads = 4
+		const footprint = 24 << 10 // per-thread working set: under capacity
+		const rounds = 6
+		if interleave {
+			for r := 0; r < rounds; r++ {
+				for th := 0; th < threads; th++ {
+					base := uint64(th) << 30
+					for a := 0; a < footprint; a += p.LineSize {
+						s.Access(base + uint64(a))
+					}
+				}
+			}
+		} else {
+			for th := 0; th < threads; th++ {
+				base := uint64(th) << 30
+				for r := 0; r < rounds; r++ {
+					for a := 0; a < footprint; a += p.LineSize {
+						s.Access(base + uint64(a))
+					}
+				}
+			}
+		}
+		return s.Stats().DCacheMisses
+	}
+	solo, mixed := run(false), run(true)
+	if mixed <= solo {
+		t.Errorf("interleaved misses %d not greater than sequential %d", mixed, solo)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Accesses: 1, DCacheMisses: 2, DTLBMisses: 3, ITLBMisses: 4}
+	b := Stats{Accesses: 10, DCacheMisses: 20, DTLBMisses: 30, ITLBMisses: 40}
+	a.Add(b)
+	want := Stats{Accesses: 11, DCacheMisses: 22, DTLBMisses: 33, ITLBMisses: 44}
+	if a != want {
+		t.Errorf("Add = %+v, want %+v", a, want)
+	}
+}
+
+func TestAssocPropertyHitAfterTouch(t *testing.T) {
+	// Property: immediately re-touching any key is always a hit.
+	f := func(keys []uint64) bool {
+		a := newAssoc(16, 4)
+		for _, k := range keys {
+			a.touch(k)
+			if !a.touch(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssocPropertyWorkingSetFits(t *testing.T) {
+	// Property: any working set of at most `ways` keys per set never
+	// misses after the first round.
+	f := func(seed uint8) bool {
+		const sets, ways = 8, 4
+		a := newAssoc(sets, ways)
+		keys := make([]uint64, 0, sets*ways)
+		for s := 0; s < sets; s++ {
+			for w := 0; w < ways; w++ {
+				keys = append(keys, uint64(s)+uint64(w)*sets+uint64(seed%3)*sets*ways)
+			}
+		}
+		for _, k := range keys {
+			a.touch(k)
+		}
+		for _, k := range keys {
+			if !a.touch(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostsArePositive(t *testing.T) {
+	for _, params := range []Params{SP2Params(), AlphaParams()} {
+		s := NewSystem(params)
+		var total sim.Time
+		for a := uint64(0); a < 1<<16; a += 64 {
+			total += s.Access(a)
+		}
+		if total <= 0 {
+			t.Errorf("total cost = %v, want > 0", total)
+		}
+	}
+}

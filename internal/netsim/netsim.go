@@ -1,0 +1,195 @@
+// Package netsim models the cluster interconnect: per-message CPU
+// overheads, wire latency, per-byte transfer cost, and serialization at
+// each node's egress and ingress. The default parameters are calibrated so
+// the end-to-end costs match those the paper measured on the Alpha/ATM
+// cluster (§4.1): 937 µs 2-hop lock acquires, 1382 µs 3-hop acquires,
+// ~1100 µs remote page faults, and 2470 µs minimal 8-processor barriers.
+//
+// The package also keeps the per-class message and byte counts that
+// Table 2 reports.
+package netsim
+
+import (
+	"fmt"
+
+	"cvm/internal/sim"
+)
+
+// NodeID identifies a node (processor) in the simulated cluster.
+type NodeID int
+
+// Class categorizes messages for Table 2 accounting.
+type Class uint8
+
+// Message classes. Data-carrying traffic (page and diff requests and
+// replies) is classed ClassDiff, following the paper: "Diff messages are
+// used to satisfy remote data requests."
+const (
+	ClassBarrier Class = iota
+	ClassLock
+	ClassDiff
+	numClasses
+)
+
+// String returns the Table 2 column name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassBarrier:
+		return "Barrier"
+	case ClassLock:
+		return "Lock"
+	case ClassDiff:
+		return "Diff"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Params are the interconnect cost parameters.
+type Params struct {
+	// SendOverhead is the CPU cost of sending one message. For sends from
+	// task context it is charged to the sending thread; for sends from
+	// message handlers it serializes the node's egress.
+	SendOverhead sim.Time
+
+	// RecvOverhead is the CPU cost of receiving one message; concurrent
+	// arrivals at one node serialize by this amount.
+	RecvOverhead sim.Time
+
+	// WireLatency is the one-way propagation plus network switching time.
+	WireLatency sim.Time
+
+	// PerKByte is the additional transfer time per KiB of payload.
+	PerKByte sim.Time
+}
+
+// transfer reports the payload transfer time for a message of n bytes.
+func (p Params) transfer(n int) sim.Time {
+	return sim.Time(n) * p.PerKByte / 1024
+}
+
+// DefaultParams returns parameters calibrated to the paper's measured
+// costs. With S=R=128 µs, W=209 µs: a 2-hop lock is 2(S+W+R) ≈ 930 µs
+// (paper: 937), a 3-hop lock ≈ 1395 µs (paper: 1382), a remote page fault
+// is 49 (mprotect) + 98 (signal) + 930 + 8 KB·PerKByte/1024 ≈ 1100 µs (paper:
+// ~1100), and a minimal 8-node barrier ≈ 2466 µs (paper: 2470).
+func DefaultParams() Params {
+	return Params{
+		SendOverhead: 128 * sim.Microsecond,
+		RecvOverhead: 128 * sim.Microsecond,
+		WireLatency:  209 * sim.Microsecond,
+		PerKByte:     2870 * sim.Nanosecond,
+	}
+}
+
+// OneWay reports the uncontended one-way latency for a message of the
+// given payload size, from send initiation to handler start.
+func (p Params) OneWay(bytes int) sim.Time {
+	return p.SendOverhead + p.transfer(bytes) + p.WireLatency + p.RecvOverhead
+}
+
+// Stats holds cumulative per-class message and byte counts.
+type Stats struct {
+	Msgs  [numClasses]int64
+	Bytes [numClasses]int64
+}
+
+// TotalMsgs reports the total message count across classes.
+func (s Stats) TotalMsgs() int64 {
+	var n int64
+	for _, m := range s.Msgs {
+		n += m
+	}
+	return n
+}
+
+// TotalBytes reports the total payload bytes across classes.
+func (s Stats) TotalBytes() int64 {
+	var n int64
+	for _, b := range s.Bytes {
+		n += b
+	}
+	return n
+}
+
+// Network simulates the interconnect between a fixed set of nodes.
+type Network struct {
+	eng    *sim.Engine
+	params Params
+
+	egressFree  []sim.Time // per-node time the NIC egress frees up
+	ingressFree []sim.Time // per-node time the ingress frees up
+
+	stats Stats
+}
+
+// New returns a network connecting nodes 0..nodes-1.
+func New(eng *sim.Engine, nodes int, params Params) *Network {
+	return &Network{
+		eng:         eng,
+		params:      params,
+		egressFree:  make([]sim.Time, nodes),
+		ingressFree: make([]sim.Time, nodes),
+	}
+}
+
+// Params returns the network's cost parameters.
+func (n *Network) Params() Params { return n.params }
+
+// Stats returns a snapshot of the per-class traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the traffic counters (used after the initialization
+// phase so tables reflect steady-state behaviour, as in the paper).
+func (n *Network) ResetStats() { n.stats = Stats{} }
+
+// SendFromTask transmits a message from the calling task's node. The
+// sender's CPU overhead is charged to the task; deliver runs in engine
+// context at the receiver once the message has been transferred and the
+// receiver's ingress is free. from and to must differ: local communication
+// never touches the network in CVM.
+func (n *Network) SendFromTask(t *sim.Task, from, to NodeID, class Class, bytes int, deliver func()) {
+	if from == to {
+		panic("netsim: SendFromTask with from == to")
+	}
+	t.Advance(n.params.SendOverhead)
+	depart := maxTime(t.Now(), n.egressFree[from])
+	depart += n.params.transfer(bytes)
+	n.egressFree[from] = depart
+	handlerAt := n.arrival(depart, to, class, bytes)
+	// Task.Schedule lowers the sender's causality horizon so the sender
+	// cannot run past the delivery before it is applied.
+	t.Schedule(handlerAt, deliver)
+}
+
+// SendFromHandler transmits a message from engine context (a message
+// handler acting for node from, e.g. a lock manager forwarding a request).
+// The send serializes the node's egress by SendOverhead plus transfer time.
+func (n *Network) SendFromHandler(from, to NodeID, class Class, bytes int, deliver func()) {
+	if from == to {
+		panic("netsim: SendFromHandler with from == to")
+	}
+	depart := maxTime(n.eng.Now(), n.egressFree[from])
+	depart += n.params.SendOverhead + n.params.transfer(bytes)
+	n.egressFree[from] = depart
+	handlerAt := n.arrival(depart, to, class, bytes)
+	n.eng.Schedule(handlerAt, deliver)
+}
+
+// arrival accounts the message and computes when its handler runs at the
+// receiver, serializing concurrent arrivals at the ingress.
+func (n *Network) arrival(depart sim.Time, to NodeID, class Class, bytes int) sim.Time {
+	n.stats.Msgs[class]++
+	n.stats.Bytes[class] += int64(bytes)
+	arrive := depart + n.params.WireLatency
+	handlerAt := maxTime(arrive, n.ingressFree[to]) + n.params.RecvOverhead
+	n.ingressFree[to] = handlerAt
+	return handlerAt
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

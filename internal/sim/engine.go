@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrDeadlock is returned by Engine.Run when live tasks remain but no
+// entity is runnable and no event is pending.
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// Engine is a sequential discrete-event simulator. It owns the event queue
+// and all processors, and dispatches exactly one entity at a time in
+// virtual-time order. An Engine is not safe for concurrent use; all
+// interaction happens from the goroutine that calls Run and from task
+// goroutines while they hold the execution grant.
+type Engine struct {
+	procs   []*Proc
+	events  eventQueue
+	now     Time
+	seq     uint64
+	live    int
+	ntasks  int
+	tasks   []*Task
+	reports chan report
+	running bool
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{reports: make(chan report)}
+}
+
+// AddProc creates a simulated processor whose thread switches cost
+// switchCost of virtual time.
+func (e *Engine) AddProc(switchCost Time) *Proc {
+	p := &Proc{eng: e, id: len(e.procs), switchCost: switchCost}
+	e.procs = append(e.procs, p)
+	return p
+}
+
+// Procs returns the engine's processors in creation order.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// Now reports the virtual time of the entity currently being dispatched.
+// Within event handlers this is the event time.
+func (e *Engine) Now() Time { return e.now }
+
+// Spawn creates a task on p executing fn. It may be called before Run or
+// from engine/task context while the simulation is in progress.
+func (e *Engine) Spawn(p *Proc, name string, fn func(*Task)) *Task {
+	t := &Task{
+		eng:    e,
+		proc:   p,
+		id:     e.ntasks,
+		name:   name,
+		resume: make(chan grant),
+	}
+	e.ntasks++
+	e.live++
+	e.tasks = append(e.tasks, t)
+	go t.start(fn)
+	p.enqueue(t, p.clock)
+	return t
+}
+
+// Schedule runs fn in engine context at absolute virtual time at. It must
+// be called from engine context (event handlers); tasks use Task.Schedule.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.schedule(at, fn)
+}
+
+func (e *Engine) schedule(at Time, fn func()) {
+	e.seq++
+	e.events.push(&event{at: at, seq: e.seq, fn: fn})
+}
+
+// Wake makes a blocked task ready. It must be called from engine context
+// (typically a message-delivery handler); the wake is stamped with the
+// current event time.
+func (e *Engine) Wake(t *Task) { e.WakeAt(t, e.now) }
+
+// WakeAt makes a blocked task ready, stamping the wake at the given
+// virtual time. Use it from task context (e.g. a thread handing a local
+// lock to a local waiter) with the caller's current clock.
+func (e *Engine) WakeAt(t *Task, at Time) {
+	if t.state != taskBlocked {
+		panic(fmt.Sprintf("sim: Wake of task %q in state %d", t.name, t.state))
+	}
+	t.state = taskReady
+	t.proc.enqueue(t, at)
+}
+
+// Run dispatches entities in virtual-time order until every spawned task
+// has finished. It returns ErrDeadlock (wrapped with diagnostics) if live
+// tasks remain but nothing is runnable.
+func (e *Engine) Run() error {
+	if e.running {
+		return errors.New("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	// Run until every task is done, then drain in-flight events (e.g.
+	// message deliveries whose senders have already finished) so traffic
+	// accounting is complete.
+	for e.live > 0 || e.events.Len() > 0 {
+		p := e.minProc()
+		evAt := e.events.peekTime()
+
+		// Events run first on ties so handlers at time T are applied
+		// before any task continues at T.
+		if p == nil || evAt <= p.clock {
+			if evAt == MaxTime {
+				return e.deadlockErr()
+			}
+			ev := e.events.pop()
+			e.now = ev.at
+			ev.fn()
+			continue
+		}
+
+		e.dispatchProc(p)
+	}
+	return nil
+}
+
+// minProc returns the runnable proc with the lowest clock, or nil.
+// Ties break by processor index, keeping dispatch deterministic.
+func (e *Engine) minProc() *Proc {
+	var best *Proc
+	for _, p := range e.procs {
+		if !p.runnable() {
+			continue
+		}
+		if best == nil || p.clock < best.clock {
+			best = p
+		}
+	}
+	return best
+}
+
+// horizonFor computes the causality horizon for running p: the lowest
+// timestamp of any pending event or other runnable processor.
+func (e *Engine) horizonFor(p *Proc) Time {
+	h := e.events.peekTime()
+	for _, q := range e.procs {
+		if q != p && q.runnable() {
+			h = minTime(h, q.clock)
+		}
+	}
+	return h
+}
+
+func (e *Engine) dispatchProc(p *Proc) {
+	sliceStart := p.clock
+	t := p.dispatch()
+	e.now = p.clock
+
+	t.resume <- grant{horizon: e.horizonFor(p)}
+	r := <-e.reports
+
+	if r.task != t {
+		panic("sim: report from unexpected task")
+	}
+	if p.hooks.OnSlice != nil && p.clock > sliceStart {
+		p.hooks.OnSlice(t, sliceStart, p.clock)
+	}
+
+	switch r.kind {
+	case reportYield:
+		// Task crossed its horizon; it remains current and will be
+		// re-granted when p is again the minimum entity.
+	case reportRequeue:
+		p.current = nil
+		p.runq = append(p.runq, t)
+	case reportBlock:
+		p.current = nil
+		p.noteBlocked()
+	case reportDone:
+		p.current = nil
+		e.live--
+		p.noteBlocked()
+	}
+}
+
+// Shutdown releases the goroutines of any still-blocked tasks. It is safe
+// to call after Run returns (including on deadlock) and at most once.
+func (e *Engine) Shutdown() {
+	for _, t := range e.tasks {
+		if t.state == taskBlocked || t.state == taskReady {
+			t.resume <- grant{poison: true}
+		}
+	}
+}
+
+func (e *Engine) deadlockErr() error {
+	var blocked []string
+	for _, t := range e.tasks {
+		if t.state == taskBlocked {
+			blocked = append(blocked, fmt.Sprintf("%s(reason=%d)", t.name, t.reason))
+		}
+	}
+	return fmt.Errorf("%w: %d tasks live, blocked: %s",
+		ErrDeadlock, e.live, strings.Join(blocked, ", "))
+}

@@ -1,0 +1,116 @@
+package sim
+
+// Reason classifies why a task blocked. The engine treats it as opaque;
+// higher layers define values and use them for idle-time attribution
+// (the paper's non-overlapped fault / lock / barrier wait times).
+type Reason uint8
+
+// ReasonNone is the zero Reason, used for tasks that never blocked.
+const ReasonNone Reason = 0
+
+// ProcHooks receives scheduling notifications for one processor.
+// Any field may be nil. Hooks run in engine context and must not block.
+type ProcHooks struct {
+	// OnSwitch fires when the processor dispatches a task other than the
+	// one it last ran, after the switch cost has been charged.
+	OnSwitch func(from, to *Task)
+
+	// OnIdleEnd fires when an idle processor becomes runnable again.
+	// The interval [start, end) was spent with no runnable task, and task
+	// is the wake that ended it; its Reason attributes the wait.
+	OnIdleEnd func(start, end Time, task *Task)
+
+	// OnSlice fires after every execution slice with the user-time span
+	// [start, end) consumed by task (including any switch cost charged to
+	// dispatch it).
+	OnSlice func(task *Task, start, end Time)
+}
+
+// Proc is a simulated processor: a virtual clock plus a run queue of
+// tasks, of which at most one is active. Procs are created with
+// Engine.AddProc. The queue is FIFO by default; SetLIFO switches to a
+// most-recently-ready discipline (the memory-conscious scheduling the
+// paper suggests as future work).
+type Proc struct {
+	eng        *Engine
+	id         int
+	clock      Time
+	switchCost Time
+	lifo       bool
+	hooks      ProcHooks
+
+	current *Task   // task that continues when this proc is next granted
+	lastRan *Task   // for switch-cost accounting
+	runq    []*Task // ready tasks, FIFO
+
+	idle      bool
+	idleSince Time
+}
+
+// ID reports the processor's index, assigned in creation order from 0.
+func (p *Proc) ID() int { return p.id }
+
+// Clock reports the processor's current virtual time.
+func (p *Proc) Clock() Time { return p.clock }
+
+// SetHooks installs scheduling notification hooks.
+func (p *Proc) SetHooks(h ProcHooks) { p.hooks = h }
+
+// SetLIFO selects the run-queue discipline: when true, the most recently
+// readied task is dispatched first, preserving cache and TLB state (the
+// paper's §5 "approach closer to LIFO than FIFO"). Default is FIFO.
+func (p *Proc) SetLIFO(lifo bool) { p.lifo = lifo }
+
+// runnable reports whether the proc has work and is therefore a dispatch
+// candidate.
+func (p *Proc) runnable() bool { return p.current != nil || len(p.runq) > 0 }
+
+// enqueue appends t to the ready queue, ending an idle period if one is in
+// progress. at is the virtual time of the wake (engine now, or the clock of
+// the spawning task).
+func (p *Proc) enqueue(t *Task, at Time) {
+	wasIdle := p.idle && !p.runnable()
+	p.runq = append(p.runq, t)
+	if wasIdle {
+		p.idle = false
+		p.clock = maxTime(p.clock, at)
+		if p.hooks.OnIdleEnd != nil {
+			p.hooks.OnIdleEnd(p.idleSince, p.clock, t)
+		}
+	}
+}
+
+// noteBlocked records the transition to idle if nothing is runnable.
+func (p *Proc) noteBlocked() {
+	if !p.runnable() {
+		p.idle = true
+		p.idleSince = p.clock
+	}
+}
+
+// dispatch ensures a current task is selected, charging the thread-switch
+// cost when control moves to a different task than last ran.
+func (p *Proc) dispatch() *Task {
+	if p.current == nil {
+		var t *Task
+		if p.lifo {
+			t = p.runq[len(p.runq)-1]
+			p.runq[len(p.runq)-1] = nil
+			p.runq = p.runq[:len(p.runq)-1]
+		} else {
+			t = p.runq[0]
+			copy(p.runq, p.runq[1:])
+			p.runq[len(p.runq)-1] = nil
+			p.runq = p.runq[:len(p.runq)-1]
+		}
+		p.current = t
+		if p.lastRan != nil && p.lastRan != t {
+			p.clock += p.switchCost
+			if p.hooks.OnSwitch != nil {
+				p.hooks.OnSwitch(p.lastRan, t)
+			}
+		}
+		p.lastRan = t
+	}
+	return p.current
+}
