@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke perf-baseline
+
+## check: the pre-commit gate — vet, build, race-test the harness, and a
+## one-iteration pass over every benchmark so the perf kernels stay honest.
+check: vet build race bench-smoke
+	@echo "check: OK"
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/harness/...
+
+## bench-smoke: run each benchmark exactly once. Catches benchmarks that
+## panic or assert-fail without paying for stable timings.
+bench-smoke:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/core ./internal/memsim ./internal/sim ./internal/harness
+
+## perf-baseline: regenerate BENCH_harness.json (compare before committing
+## changes to the diff/memsim/harness hot paths).
+perf-baseline:
+	$(GO) run ./cmd/cvm-bench -experiment perf -size small -json BENCH_harness.json

@@ -116,7 +116,7 @@ func BenchmarkTable5_WaterNsqOptimizations(b *testing.B) {
 	var rows []harness.Table5Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = harness.Table5(apps.SizeTest, 8, harness.ThreadLevels, nil)
+		rows, err = harness.Table5(apps.SizeTest, 8, harness.ThreadLevels, nil, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +183,7 @@ func BenchmarkProtocols(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var err error
 		rows, err = harness.CompareProtocols([]string{"sor", "waternsq"},
-			apps.SizeTest, 8, 2, nil)
+			apps.SizeTest, 8, 2, nil, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

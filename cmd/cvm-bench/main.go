@@ -8,6 +8,13 @@
 //	cvm-bench -experiment table5 -size paper
 //
 // Experiments: costs, fig1, table2, table3, fig2, table4, table5, ablation, protocols, all.
+//
+// Grid cells are independent simulations and run concurrently; -parallel N
+// caps the worker count (default: all CPUs; 1 reproduces the sequential
+// baseline). The perf experiment benchmarks the harness itself and writes
+// a machine-readable baseline:
+//
+//	cvm-bench -experiment perf -json BENCH_harness.json
 package main
 
 import (
@@ -30,10 +37,12 @@ func main() {
 func run() error {
 	var (
 		experiment = flag.String("experiment", "all",
-			"experiment to regenerate: costs, fig1, table2, table3, fig2, table4, table5, ablation, protocols, all")
-		size    = flag.String("size", "small", "input scale: test, small, paper")
-		quiet   = flag.Bool("q", false, "suppress progress output")
-		nodes16 = flag.Bool("with16", true, "include 16-node runs in table4")
+			"experiment to regenerate: costs, fig1, table2, table3, fig2, table4, table5, ablation, protocols, perf, all")
+		size     = flag.String("size", "small", "input scale: test, small, paper")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		nodes16  = flag.Bool("with16", true, "include 16-node runs in table4")
+		parallel = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = all CPUs, 1 = sequential)")
+		jsonPath = flag.String("json", "BENCH_harness.json", "output path for the perf experiment's JSON baseline")
 	)
 	flag.Parse()
 
@@ -61,8 +70,8 @@ func run() error {
 	// Figure 1, Tables 2-3 and Figure 2 share one grid over 4 and 8
 	// nodes at 1-4 threads.
 	if want("fig1") || want("table2") || want("table3") || want("fig2") {
-		res, err := harness.RunGrid(harness.AppOrder, sz,
-			harness.GridShapes([]int{4, 8}, harness.ThreadLevels), progress)
+		res, err := harness.RunGridParallel(harness.AppOrder, sz,
+			harness.GridShapes([]int{4, 8}, harness.ThreadLevels), progress, *parallel)
 		if err != nil {
 			return err
 		}
@@ -92,8 +101,8 @@ func run() error {
 		// Barnes is excluded in the paper ("will not run with our
 		// default input size on sixteen processors").
 		names := []string{"fft", "ocean", "sor", "swm750", "watersp", "waternsq"}
-		res, err := harness.RunGrid(names, sz,
-			harness.GridShapes(nodeCounts, []int{1, 2, 4}), progress)
+		res, err := harness.RunGridParallel(names, sz,
+			harness.GridShapes(nodeCounts, []int{1, 2, 4}), progress, *parallel)
 		if err != nil {
 			return err
 		}
@@ -125,7 +134,7 @@ func run() error {
 	}
 
 	if want("protocols") {
-		rows, err := harness.CompareProtocols(harness.AppOrder, sz, 8, 2, progress)
+		rows, err := harness.CompareProtocols(harness.AppOrder, sz, 8, 2, progress, *parallel)
 		if err != nil {
 			return err
 		}
@@ -133,8 +142,12 @@ func run() error {
 		fmt.Fprintln(out)
 	}
 
+	if *experiment == "perf" {
+		return runPerf(out, sz, *parallel, *jsonPath, progress)
+	}
+
 	if want("table5") {
-		rows, err := harness.Table5(sz, 8, harness.ThreadLevels, progress)
+		rows, err := harness.Table5(sz, 8, harness.ThreadLevels, progress, *parallel)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cvm/internal/apps"
+	"cvm/internal/core"
+	"cvm/internal/harness"
+	"cvm/internal/memsim"
+)
+
+// perfBaseline is the schema of BENCH_harness.json: an end-to-end
+// sequential-vs-parallel harness comparison plus hot-path microbenchmarks,
+// written so future changes have a perf trajectory to diff against.
+type perfBaseline struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Size       string `json:"size"`
+
+	Grid struct {
+		Cells       int     `json:"cells"`
+		Workers     int     `json:"workers"`
+		SeqSeconds  float64 `json:"seq_seconds"`
+		ParSeconds  float64 `json:"par_seconds"`
+		SeqCellsSec float64 `json:"seq_cells_per_sec"`
+		ParCellsSec float64 `json:"par_cells_per_sec"`
+		Speedup     float64 `json:"speedup"`
+		Identical   bool    `json:"results_identical"`
+	} `json:"grid"`
+
+	Micro []microResult `json:"micro"`
+}
+
+type microResult struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// runPerf benchmarks the harness itself: one grid run sequentially and one
+// at the requested parallelism, checked for identical results, plus the
+// MakeDiff/Apply and memsim microbenchmarks, emitted as JSON.
+func runPerf(out io.Writer, size apps.Size, workers int, jsonPath string, progress io.Writer) error {
+	var b perfBaseline
+	b.GoVersion = runtime.Version()
+	b.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	b.Size = sizeName(size)
+	if workers <= 0 {
+		workers = harness.DefaultParallelism()
+	}
+
+	// A representative grid: the Figure 1 / Tables 2-3 shape but at 4
+	// nodes only, so the perf experiment stays shorter than -experiment all
+	// while still averaging over every application.
+	names := harness.AppOrder
+	shapes := harness.GridShapes([]int{4}, harness.ThreadLevels)
+
+	fmt.Fprintf(out, "perf: grid %d apps x %d shapes, sequential...\n", len(names), len(shapes))
+	t0 := time.Now()
+	seq, err := harness.RunGridParallel(names, size, shapes, progress, 1)
+	if err != nil {
+		return err
+	}
+	seqDur := time.Since(t0)
+
+	fmt.Fprintf(out, "perf: same grid with %d workers...\n", workers)
+	t0 = time.Now()
+	par, err := harness.RunGridParallel(names, size, shapes, progress, workers)
+	if err != nil {
+		return err
+	}
+	parDur := time.Since(t0)
+
+	b.Grid.Cells = len(seq)
+	b.Grid.Workers = workers
+	b.Grid.SeqSeconds = seqDur.Seconds()
+	b.Grid.ParSeconds = parDur.Seconds()
+	b.Grid.SeqCellsSec = float64(len(seq)) / seqDur.Seconds()
+	b.Grid.ParCellsSec = float64(len(par)) / parDur.Seconds()
+	b.Grid.Speedup = seqDur.Seconds() / parDur.Seconds()
+	b.Grid.Identical = seq.Equal(par)
+	if !b.Grid.Identical {
+		return fmt.Errorf("cvm-bench: parallel grid results differ from sequential (determinism violation)")
+	}
+
+	b.Micro = append(b.Micro,
+		micro("MakeDiff/sparse", benchMakeDiff(sparsePage)),
+		micro("MakeDiff/dense", benchMakeDiff(densePage)),
+		micro("MakeDiff/clean", benchMakeDiff(cleanPage)),
+		micro("DiffApply", benchDiffApply()),
+		micro("MemsimSweep", benchMemsimSweep()),
+	)
+
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "perf: %d cells: sequential %.2fs (%.2f cells/s), %d workers %.2fs (%.2f cells/s), speedup %.2fx\n",
+		b.Grid.Cells, b.Grid.SeqSeconds, b.Grid.SeqCellsSec,
+		b.Grid.Workers, b.Grid.ParSeconds, b.Grid.ParCellsSec, b.Grid.Speedup)
+	for _, m := range b.Micro {
+		fmt.Fprintf(out, "perf: %-18s %10.1f ns/op  %d allocs/op\n", m.Name, m.NsOp, m.AllocsOp)
+	}
+	fmt.Fprintf(out, "perf: baseline written to %s\n", jsonPath)
+	return nil
+}
+
+func micro(name string, r testing.BenchmarkResult) microResult {
+	return microResult{Name: name, NsOp: float64(r.T.Nanoseconds()) / float64(r.N), AllocsOp: r.AllocsPerOp()}
+}
+
+func sizeName(s apps.Size) string {
+	switch s {
+	case apps.SizeTest:
+		return "test"
+	case apps.SizePaper:
+		return "paper"
+	default:
+		return "small"
+	}
+}
+
+const perfPageSize = 8 << 10
+
+// sparsePage scatters a few short modified ranges across the page.
+func sparsePage() (twin, cur []byte) {
+	twin = make([]byte, perfPageSize)
+	cur = make([]byte, perfPageSize)
+	for i := 0; i < perfPageSize; i += 512 {
+		cur[i] = byte(i>>9) + 1
+	}
+	return twin, cur
+}
+
+// densePage modifies nearly every byte.
+func densePage() (twin, cur []byte) {
+	twin = make([]byte, perfPageSize)
+	cur = make([]byte, perfPageSize)
+	for i := range cur {
+		cur[i] = byte(i) | 1
+	}
+	return twin, cur
+}
+
+// cleanPage has no modifications (the twin-comparison common case at
+// barrier-heavy apps: most closed pages changed only a small region).
+func cleanPage() (twin, cur []byte) {
+	twin = make([]byte, perfPageSize)
+	cur = make([]byte, perfPageSize)
+	return twin, cur
+}
+
+func benchMakeDiff(mk func() (twin, cur []byte)) testing.BenchmarkResult {
+	twin, cur := mk()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.MakeDiff(0, twin, cur)
+		}
+	})
+}
+
+func benchDiffApply() testing.BenchmarkResult {
+	twin, cur := sparsePage()
+	d := &core.Diff{Runs: core.MakeDiff(0, twin, cur)}
+	dst := make([]byte, perfPageSize)
+	tw := make([]byte, perfPageSize)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.Apply(dst, tw)
+		}
+	})
+}
+
+func benchMemsimSweep() testing.BenchmarkResult {
+	sys := memsim.NewSystem(memsim.SP2Params())
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys.Access(uint64(i%(1<<20)) * 8)
+		}
+	})
+}

@@ -4,19 +4,27 @@
 // Usage:
 //
 //	cvm-run -app sor -nodes 8 -threads 2 -size small
+//	cvm-run -app sor -nodes 8 -threads 1,2,4 -parallel 3
 //
 // Applications: barnes, fft, ocean, sor, swm750, watersp, waternsq,
 // waternsq-noopts, waternsq-localbarrier. Sizes: test, small, paper.
+//
+// -threads accepts a comma-separated list; the resulting configurations
+// are independent simulations and run concurrently across -parallel
+// worker goroutines (0 = all CPUs).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 
+	"cvm"
 	"cvm/internal/apps"
+	"cvm/internal/harness"
 	"cvm/internal/netsim"
 )
 
@@ -29,10 +37,11 @@ func main() {
 
 func run() error {
 	var (
-		appName = flag.String("app", "sor", "application: "+strings.Join(apps.Names(), ", "))
-		nodes   = flag.Int("nodes", 8, "number of nodes (processors)")
-		threads = flag.Int("threads", 1, "application threads per node")
-		size    = flag.String("size", "small", "input scale: test, small, paper")
+		appName  = flag.String("app", "sor", "application: "+strings.Join(apps.Names(), ", "))
+		nodes    = flag.Int("nodes", 8, "number of nodes (processors)")
+		threads  = flag.String("threads", "1", "application threads per node (comma-separated list sweeps)")
+		size     = flag.String("size", "small", "input scale: test, small, paper")
+		parallel = flag.Int("parallel", 0, "worker goroutines for a threads sweep (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -40,13 +49,51 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	st, err := apps.Run(*appName, sz, *nodes, *threads)
+	levels, err := parseThreadList(*threads)
 	if err != nil {
 		return err
 	}
 
+	// The sweep's cells are independent simulations; fan them out over
+	// the harness worker pool and print each report in thread order.
+	shapes := harness.GridShapes([]int{*nodes}, levels)
+	res, err := harness.RunGridParallel([]string{*appName}, sz, shapes, nil, *parallel)
+	if err != nil {
+		return err
+	}
+	for i, t := range levels {
+		st, ok := res[harness.Key{App: *appName, Nodes: *nodes, Threads: t}]
+		if !ok {
+			fmt.Printf("%s does not support %d threads per node; skipped\n", *appName, t)
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := report(*appName, *nodes, t, *size, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseThreadList parses "1,2,4" into thread levels.
+func parseThreadList(s string) ([]int, error) {
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		t, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || t < 1 {
+			return nil, fmt.Errorf("bad -threads value %q", part)
+		}
+		levels = append(levels, t)
+	}
+	return levels, nil
+}
+
+// report prints one run's statistics.
+func report(appName string, nodes, threads int, size string, st cvm.Stats) error {
 	fmt.Printf("%s on %d nodes x %d threads (%s input): result verified against sequential reference\n\n",
-		*appName, *nodes, *threads, *size)
+		appName, nodes, threads, size)
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "steady-state wall time\t%v\n", st.Wall)

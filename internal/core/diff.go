@@ -1,5 +1,7 @@
 package core
 
+import "encoding/binary"
+
 // Diff summarizes the modifications made to one page during one or more
 // intervals, as a list of byte runs that differ between the page's twin
 // and its current contents. Diffs are how CVM's multiple-writer protocol
@@ -20,16 +22,38 @@ type Run struct {
 
 // MakeDiff compares twin (the page contents at first write) against cur
 // and returns the modified runs. The slices must be the same length.
+//
+// The comparison strides 8 bytes at a time: equal regions skip a word per
+// test, and inside a modified region a SWAR zero-byte probe on twin^cur
+// extends the run a word at a time while no byte matches. Byte-level
+// scans only run at region boundaries, so sparse and dense pages alike
+// cost ~n/8 comparisons. Run boundaries are bit-identical to a
+// byte-at-a-time scan (see TestMakeDiffMatchesReference).
 func MakeDiff(page PageID, twin, cur []byte) []Run {
 	var runs []Run
 	n := len(cur)
 	i := 0
 	for i < n {
-		if twin[i] == cur[i] {
-			i++
-			continue
+		// Skip the equal region, word-wise while both slices allow it.
+		for i+8 <= n && binary.LittleEndian.Uint64(twin[i:]) == binary.LittleEndian.Uint64(cur[i:]) {
+			i += 8
 		}
+		for i < n && twin[i] == cur[i] {
+			i++
+		}
+		if i == n {
+			break
+		}
+		// Extend the modified run: whole words where every byte differs,
+		// then bytes until the first match.
 		start := i
+		for i+8 <= n {
+			x := binary.LittleEndian.Uint64(twin[i:]) ^ binary.LittleEndian.Uint64(cur[i:])
+			if hasZeroByte(x) {
+				break
+			}
+			i += 8
+		}
 		for i < n && twin[i] != cur[i] {
 			i++
 		}
@@ -38,6 +62,12 @@ func MakeDiff(page PageID, twin, cur []byte) []Run {
 		runs = append(runs, Run{Off: int32(start), Data: data})
 	}
 	return runs
+}
+
+// hasZeroByte reports whether any byte of x is zero (the SWAR trick:
+// borrow propagation sets the high bit of each zero byte).
+func hasZeroByte(x uint64) bool {
+	return (x-0x0101010101010101)&^x&0x8080808080808080 != 0
 }
 
 // Apply writes the diff's runs into page contents dst, and into twin as
@@ -64,15 +94,26 @@ func (d *Diff) Bytes() int {
 }
 
 // Overlaps reports whether two diffs modify any common byte. Overlapping
-// concurrent diffs indicate a data race in the application.
+// concurrent diffs indicate a data race in the application. MakeDiff
+// emits runs in ascending, non-overlapping offset order, so the two run
+// lists are walked with a linear two-pointer merge instead of the
+// quadratic all-pairs scan.
 func (d *Diff) Overlaps(other *Diff) bool {
-	for _, a := range d.Runs {
-		for _, b := range other.Runs {
-			aEnd := a.Off + int32(len(a.Data))
-			bEnd := b.Off + int32(len(b.Data))
-			if a.Off < bEnd && b.Off < aEnd {
-				return true
-			}
+	da, db := d.Runs, other.Runs
+	i, j := 0, 0
+	for i < len(da) && j < len(db) {
+		a, b := &da[i], &db[j]
+		aEnd := a.Off + int32(len(a.Data))
+		bEnd := b.Off + int32(len(b.Data))
+		if a.Off < bEnd && b.Off < aEnd {
+			return true
+		}
+		// Disjoint: drop whichever run ends first; it cannot overlap any
+		// later (higher-offset) run of the other diff either.
+		if aEnd <= bEnd {
+			i++
+		} else {
+			j++
 		}
 	}
 	return false

@@ -76,6 +76,101 @@ func TestDiffApplyToTwin(t *testing.T) {
 	}
 }
 
+// makeDiffRef is the byte-at-a-time reference implementation MakeDiff's
+// word-strided kernel must match exactly.
+func makeDiffRef(twin, cur []byte) []Run {
+	var runs []Run
+	n := len(cur)
+	i := 0
+	for i < n {
+		if twin[i] == cur[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < n && twin[i] != cur[i] {
+			i++
+		}
+		data := make([]byte, i-start)
+		copy(data, cur[start:i])
+		runs = append(runs, Run{Off: int32(start), Data: data})
+	}
+	return runs
+}
+
+func runsEqual(a, b []Run) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Off != b[i].Off || !bytes.Equal(a[i].Data, b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMakeDiffMatchesReference is the golden test for the word-strided
+// kernel: identical run boundaries and contents to the byte-wise scan on
+// random pages, plus handcrafted word-boundary edge cases.
+func TestMakeDiffMatchesReference(t *testing.T) {
+	// Edge cases around 8-byte word boundaries and non-multiple-of-8
+	// lengths.
+	cases := [][2][]byte{}
+	addCase := func(n int, mutate func(cur []byte)) {
+		twin := make([]byte, n)
+		cur := make([]byte, n)
+		mutate(cur)
+		cases = append(cases, [2][]byte{twin, cur})
+	}
+	addCase(64, func(cur []byte) {})                          // clean page
+	addCase(64, func(cur []byte) { cur[0] = 1 })              // run at start
+	addCase(64, func(cur []byte) { cur[63] = 1 })             // run at end
+	addCase(64, func(cur []byte) { cur[7] = 1; cur[8] = 1 })  // run across a word boundary
+	addCase(64, func(cur []byte) {
+		for i := range cur {
+			cur[i] = byte(i) | 1 // every byte differs
+		}
+	})
+	addCase(64, func(cur []byte) {
+		for i := 0; i < 64; i += 2 {
+			cur[i] = 1 // alternating differ/match defeats whole-word runs
+		}
+	})
+	addCase(13, func(cur []byte) { cur[12] = 1 })             // tail shorter than a word
+	addCase(7, func(cur []byte) { cur[3] = 1 })               // page shorter than a word
+	addCase(1, func(cur []byte) { cur[0] = 1 })
+	addCase(0, func(cur []byte) {})
+	for i, c := range cases {
+		twin, cur := c[0], c[1]
+		if got, want := MakeDiff(0, twin, cur), makeDiffRef(twin, cur); !runsEqual(got, want) {
+			t.Errorf("case %d: MakeDiff = %+v, want %+v", i, got, want)
+		}
+	}
+
+	// Property check over pseudo-random sparse and dense patterns.
+	f := func(seed []byte, dense bool) bool {
+		const n = 259 // deliberately not a multiple of 8
+		twin := make([]byte, n)
+		cur := make([]byte, n)
+		for i, b := range seed {
+			twin[i%n] = b
+		}
+		copy(cur, twin)
+		step := 31
+		if dense {
+			step = 2
+		}
+		for i, b := range seed {
+			cur[(i*step)%n] ^= b
+		}
+		return runsEqual(MakeDiff(0, twin, cur), makeDiffRef(twin, cur))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestDiffOverlaps(t *testing.T) {
 	a := &Diff{Runs: []Run{{Off: 0, Data: make([]byte, 8)}}}
 	b := &Diff{Runs: []Run{{Off: 8, Data: make([]byte, 8)}}}
@@ -85,6 +180,81 @@ func TestDiffOverlaps(t *testing.T) {
 	}
 	if !a.Overlaps(c) || !b.Overlaps(c) {
 		t.Error("overlapping diffs reported disjoint")
+	}
+}
+
+// TestDiffOverlapsAdjacent pins the aEnd == b.Off boundary: runs that
+// touch but share no byte must not report an overlap, in either order.
+func TestDiffOverlapsAdjacent(t *testing.T) {
+	a := &Diff{Runs: []Run{{Off: 0, Data: make([]byte, 16)}}} // [0,16)
+	b := &Diff{Runs: []Run{{Off: 16, Data: make([]byte, 8)}}} // [16,24)
+	if a.Overlaps(b) || b.Overlaps(a) {
+		t.Error("adjacent-but-not-overlapping runs reported overlapping")
+	}
+	c := &Diff{Runs: []Run{{Off: 15, Data: make([]byte, 2)}}} // [15,17) overlaps both
+	if !a.Overlaps(c) || !b.Overlaps(c) {
+		t.Error("one-byte overlap missed")
+	}
+}
+
+// TestDiffOverlapsMergeWalk exercises the two-pointer merge with
+// interleaved multi-run diffs, including a late overlap after several
+// disjoint leading runs on both sides.
+func TestDiffOverlapsMergeWalk(t *testing.T) {
+	mk := func(spans ...[2]int32) *Diff {
+		d := &Diff{}
+		for _, s := range spans {
+			d.Runs = append(d.Runs, Run{Off: s[0], Data: make([]byte, s[1]-s[0])})
+		}
+		return d
+	}
+	a := mk([2]int32{0, 4}, [2]int32{10, 14}, [2]int32{20, 24}, [2]int32{40, 48})
+	b := mk([2]int32{4, 8}, [2]int32{14, 18}, [2]int32{24, 28})
+	if a.Overlaps(b) || b.Overlaps(a) {
+		t.Error("interleaved disjoint diffs reported overlapping")
+	}
+	c := mk([2]int32{4, 8}, [2]int32{14, 18}, [2]int32{47, 50}) // last run hits a's last
+	if !a.Overlaps(c) || !c.Overlaps(a) {
+		t.Error("late overlap missed by merge walk")
+	}
+	empty := &Diff{}
+	if a.Overlaps(empty) || empty.Overlaps(a) {
+		t.Error("empty diff reported overlapping")
+	}
+}
+
+// TestDiffOverlapsMatchesQuadratic cross-checks the merge walk against the
+// all-pairs reference on random ascending run lists.
+func TestDiffOverlapsMatchesQuadratic(t *testing.T) {
+	quadratic := func(d, other *Diff) bool {
+		for _, a := range d.Runs {
+			for _, b := range other.Runs {
+				aEnd := a.Off + int32(len(a.Data))
+				bEnd := b.Off + int32(len(b.Data))
+				if a.Off < bEnd && b.Off < aEnd {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	f := func(aSeed, bSeed []byte) bool {
+		mk := func(seed []byte) *Diff {
+			d := &Diff{}
+			off := int32(0)
+			for _, b := range seed {
+				off += int32(b%37) + 1
+				n := int32(b%11) + 1
+				d.Runs = append(d.Runs, Run{Off: off, Data: make([]byte, n)})
+				off += n
+			}
+			return d
+		}
+		a, b := mk(aSeed), mk(bSeed)
+		return a.Overlaps(b) == quadratic(a, b) && b.Overlaps(a) == quadratic(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -42,9 +42,9 @@ func (t *Thread) ensureAccess(p *page, write bool) {
 			// signal delivery, create the twin (a page-length copy
 			// through the cache), re-enable writes (mprotect).
 			t.task.Advance(cfg.SignalCost)
-			p.materialize(cfg.PageSize)
+			p.materialize(t.sys)
 			if p.twin == nil {
-				twin := make([]byte, cfg.PageSize)
+				twin := t.sys.newPageBuf(false)
 				copy(twin, p.data)
 				p.twin = twin
 				t.task.Advance(n.mem.AccessRange(t.pageVA(p.id), cfg.PageSize))
@@ -135,7 +135,7 @@ func (t *Thread) remoteFault(p *page) {
 func (t *Thread) applyFault(fs *faultState) {
 	n := t.node
 	p := fs.page
-	p.materialize(t.sys.cfg.PageSize)
+	p.materialize(t.sys)
 	sortDiffs(fs.diffs)
 	if t.sys.cfg.DetectRaces {
 		n.detectRaces(fs.diffs)

@@ -151,6 +151,7 @@ func (n *node) closeInterval(t *Thread) {
 			Runs: MakeDiff(pg, p.twin, p.data),
 		}
 		n.storeDiff(d)
+		n.sys.recyclePageBuf(p.twin)
 		p.twin = nil
 		if t != nil {
 			t.task.Advance(n.sys.cfg.DiffCreateCost +

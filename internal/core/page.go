@@ -104,9 +104,9 @@ type diffRange struct {
 }
 
 // materialize allocates the local copy on first use (pages read as zeros
-// until then).
-func (p *page) materialize(pageSize int) {
+// until then), drawing from the system's page-buffer pool.
+func (p *page) materialize(sys *System) {
 	if p.data == nil {
-		p.data = make([]byte, pageSize)
+		p.data = sys.newPageBuf(true)
 	}
 }

@@ -186,7 +186,7 @@ func (n *node) swTransfer(pg PageID, d *swDir) {
 		target := sys.nodes[req.node]
 		p := target.pageAt(pg)
 		if req.write {
-			p.materialize(sys.cfg.PageSize)
+			p.materialize(sys)
 			p.state = PageReadWrite
 		} else if p.state != PageReadWrite {
 			p.state = PageReadOnly
@@ -234,7 +234,7 @@ func (n *node) swTransfer(pg PageID, d *swDir) {
 			dst := sys.nodes[req.node]
 			p := dst.pageAt(pg)
 			if data != nil {
-				p.materialize(sys.cfg.PageSize)
+				p.materialize(sys)
 				copy(p.data, data)
 			}
 			finish()

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"cvm/internal/memsim"
 	"cvm/internal/netsim"
@@ -107,6 +108,33 @@ type System struct {
 	threadByTask map[int]*Thread
 	started      bool
 	t0           sim.Time
+
+	// pageBufs recycles page-sized byte buffers. Twins churn hardest —
+	// one allocation per write-collection episode per page — and every
+	// closed interval frees one; page copies draw from the same pool.
+	pageBufs sync.Pool
+}
+
+// newPageBuf returns a page-sized buffer, zeroed when zero is set
+// (materialized pages must read as zeros; twins are fully overwritten by
+// the caller and skip the clear).
+func (s *System) newPageBuf(zero bool) []byte {
+	if v := s.pageBufs.Get(); v != nil {
+		buf := v.([]byte)
+		if zero {
+			clear(buf)
+		}
+		return buf
+	}
+	return make([]byte, s.cfg.PageSize)
+}
+
+// recyclePageBuf returns a buffer to the pool. Callers must drop every
+// alias first (diff runs copy their data out, so twins are safe).
+func (s *System) recyclePageBuf(buf []byte) {
+	if len(buf) == s.cfg.PageSize {
+		s.pageBufs.Put(buf)
+	}
 }
 
 // NewSystem builds a cluster from cfg.

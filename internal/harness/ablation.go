@@ -33,16 +33,10 @@ func AblationSwitchCost(appName string, size apps.Size) ([]AblationRow, error) {
 		200 * sim.Microsecond,
 		1000 * sim.Microsecond,
 	}
-	var rows []AblationRow
-	for _, c := range costs {
-		row, err := ablate(appName, size, fmt.Sprintf("%v", c), "switch-cost",
+	return runJobs(costs, 0, func(c sim.Time) (AblationRow, error) {
+		return ablate(appName, size, fmt.Sprintf("%v", c), "switch-cost",
 			func(cfg *cvm.Config) { cfg.SwitchCost = c })
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	})
 }
 
 // AblationWireLatency sweeps the interconnect wire latency. The paper's
@@ -59,21 +53,18 @@ func AblationWireLatency(appName string, size apps.Size) ([]AblationRow, error) 
 		{"2x", 2, 1},
 		{"4x", 4, 1},
 	}
-	var rows []AblationRow
-	for _, f := range factors {
-		f := f
-		row, err := ablate(appName, size, f.label, "wire-latency",
+	return runJobs(factors, 0, func(f struct {
+		label string
+		mul   int
+		div   int
+	}) (AblationRow, error) {
+		return ablate(appName, size, f.label, "wire-latency",
 			func(cfg *cvm.Config) {
 				cfg.Net.WireLatency = cfg.Net.WireLatency * sim.Time(f.mul) / sim.Time(f.div)
 				cfg.Net.SendOverhead = cfg.Net.SendOverhead * sim.Time(f.mul) / sim.Time(f.div)
 				cfg.Net.RecvOverhead = cfg.Net.RecvOverhead * sim.Time(f.mul) / sim.Time(f.div)
 			})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	})
 }
 
 // ablate runs appName at 8 nodes with T=1 and T=4 under a modified
@@ -132,23 +123,21 @@ type SchedulerRow struct {
 // AblationScheduler runs appName at 8 nodes × 4 threads under both
 // run-queue disciplines.
 func AblationScheduler(appName string, size apps.Size) ([]SchedulerRow, error) {
-	var rows []SchedulerRow
-	for _, lifo := range []bool{false, true} {
+	return runJobs([]bool{false, true}, 0, func(lifo bool) (SchedulerRow, error) {
 		cfg := cvm.DefaultConfig(8, 4)
 		cfg.LIFOScheduler = lifo
 		st, err := apps.RunConfig(appName, size, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("harness: scheduler ablation lifo=%v: %w", lifo, err)
+			return SchedulerRow{}, fmt.Errorf("harness: scheduler ablation lifo=%v: %w", lifo, err)
 		}
-		rows = append(rows, SchedulerRow{
+		return SchedulerRow{
 			App:          appName,
 			LIFO:         lifo,
 			Wall:         st.Wall,
 			DCacheMisses: st.MemTotal.DCacheMisses,
 			ITLBMisses:   st.MemTotal.ITLBMisses,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // WriteSchedulerAblation renders the scheduler comparison.

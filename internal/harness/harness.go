@@ -7,6 +7,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"reflect"
 
 	"cvm"
 	"cvm/internal/apps"
@@ -28,6 +29,22 @@ type Key struct {
 // Results caches run statistics per (app, shape).
 type Results map[Key]cvm.Stats
 
+// Equal reports whether two result sets cover the same keys with
+// identical statistics. The parallel runner must produce results Equal to
+// the sequential runner's at every worker count.
+func (r Results) Equal(other Results) bool {
+	if len(r) != len(other) {
+		return false
+	}
+	for k, v := range r {
+		ov, ok := other[k]
+		if !ok || !reflect.DeepEqual(v, ov) {
+			return false
+		}
+	}
+	return true
+}
+
 // AppOrder is the paper's application ordering in figures and tables.
 var AppOrder = []string{"barnes", "fft", "ocean", "sor", "swm750", "watersp", "waternsq"}
 
@@ -37,9 +54,19 @@ var ThreadLevels = []int{1, 2, 3, 4}
 // RunGrid executes every application at every shape, validating results
 // against the sequential references. Shapes an application does not
 // support (Ocean at non-power-of-two threads) are skipped. Progress lines
-// go to progress when non-nil.
+// go to progress when non-nil. Cells run concurrently across
+// DefaultParallelism workers; use RunGridParallel to choose the width.
 func RunGrid(appNames []string, size apps.Size, shapes []Shape, progress io.Writer) (Results, error) {
-	res := make(Results, len(appNames)*len(shapes))
+	return RunGridParallel(appNames, size, shapes, progress, DefaultParallelism())
+}
+
+// RunGridParallel is RunGrid with an explicit worker count (≤ 0 means
+// DefaultParallelism). Every grid cell is an independent single-threaded
+// simulation, so the cells fan out across a worker pool; results are
+// merged in deterministic grid order and are bit-identical at any worker
+// count (see TestRunGridParallelDeterminism).
+func RunGridParallel(appNames []string, size apps.Size, shapes []Shape, progress io.Writer, workers int) (Results, error) {
+	jobs := make([]Key, 0, len(appNames)*len(shapes))
 	for _, name := range appNames {
 		for _, sh := range shapes {
 			app, err := apps.New(name, size)
@@ -49,15 +76,27 @@ func RunGrid(appNames []string, size apps.Size, shapes []Shape, progress io.Writ
 			if !app.SupportsThreads(sh.Threads) {
 				continue
 			}
-			if progress != nil {
-				fmt.Fprintf(progress, "running %s %dx%d...\n", name, sh.Nodes, sh.Threads)
-			}
-			st, err := apps.Run(name, size, sh.Nodes, sh.Threads)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s %dx%d: %w", name, sh.Nodes, sh.Threads, err)
-			}
-			res[Key{name, sh.Nodes, sh.Threads}] = st
+			jobs = append(jobs, Key{name, sh.Nodes, sh.Threads})
 		}
+	}
+
+	sink := newProgressSink(progress)
+	defer sink.Close()
+	stats, err := runJobs(jobs, workers, func(k Key) (cvm.Stats, error) {
+		sink.Printf("running %s %dx%d...\n", k.App, k.Nodes, k.Threads)
+		st, err := apps.Run(k.App, size, k.Nodes, k.Threads)
+		if err != nil {
+			return cvm.Stats{}, fmt.Errorf("harness: %s %dx%d: %w", k.App, k.Nodes, k.Threads, err)
+		}
+		return st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := make(Results, len(jobs))
+	for i, k := range jobs {
+		res[k] = stats[i]
 	}
 	return res, nil
 }

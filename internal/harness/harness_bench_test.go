@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"testing"
+
+	"cvm/internal/apps"
+)
+
+// End-to-end grid benchmarks: the regression baseline for RunGrid
+// throughput (cells/sec at the test input scale). The parallel variant's
+// advantage over Seq is the wall-clock win cvm-bench -experiment all
+// inherits; on a single-core machine they should be within noise.
+
+func benchmarkRunGrid(b *testing.B, workers int) {
+	appList := []string{"sor", "waternsq"}
+	shapes := GridShapes([]int{4}, []int{1, 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunGridParallel(appList, apps.SizeTest, shapes, nil, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunGridSeq(b *testing.B)  { benchmarkRunGrid(b, 1) }
+func BenchmarkRunGridPar4(b *testing.B) { benchmarkRunGrid(b, 4) }

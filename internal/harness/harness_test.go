@@ -104,6 +104,14 @@ func TestPct(t *testing.T) {
 		{100, 100, "+0%"},
 		{0, 0, "0%"},
 		{5, 0, "n/a"},
+		{-5, 0, "n/a"},        // zero base with a negative delta
+		{0, 100, "-100%"},     // everything eliminated
+		{25, 100, "-75%"},     // negative delta
+		{300, 100, "+200%"},   // multiples
+		{1004, 1000, "+0%"},   // rounds toward zero change
+		{1006, 1000, "+1%"},   // rounds up
+		{995, 1000, "-0%"},    // tiny negative delta rounds to -0
+		{994, 1000, "-1%"},    // rounds down
 	}
 	for _, tt := range tests {
 		if got := pct(tt.now, tt.base); got != tt.want {
@@ -113,7 +121,7 @@ func TestPct(t *testing.T) {
 }
 
 func TestTable5Speedups(t *testing.T) {
-	rows, err := Table5(apps.SizeTest, 4, []int{1, 2}, nil)
+	rows, err := Table5(apps.SizeTest, 4, []int{1, 2}, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +236,7 @@ func TestAblationScheduler(t *testing.T) {
 }
 
 func TestCompareProtocols(t *testing.T) {
-	rows, err := CompareProtocols([]string{"sor", "waternsq"}, apps.SizeTest, 4, 2, nil)
+	rows, err := CompareProtocols([]string{"sor", "waternsq"}, apps.SizeTest, 4, 2, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

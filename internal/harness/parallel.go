@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// DefaultParallelism is the worker count used when callers do not choose
+// one: every available CPU. Each grid cell is one single-threaded
+// deterministic simulation, so cells scale across cores with no effect on
+// results.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// clampWorkers normalizes a requested worker count for a job list.
+func clampWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = DefaultParallelism()
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// progressSink serializes progress lines from concurrent workers into a
+// single writer goroutine, so interleaved experiments never tear lines.
+type progressSink struct {
+	lines chan string
+	done  chan struct{}
+}
+
+// newProgressSink starts the single writer goroutine; it returns nil for
+// a nil writer (progress disabled). Close must be called to flush.
+func newProgressSink(w io.Writer) *progressSink {
+	if w == nil {
+		return nil
+	}
+	s := &progressSink{lines: make(chan string, 64), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		for line := range s.lines {
+			io.WriteString(w, line)
+		}
+	}()
+	return s
+}
+
+// Printf queues one progress line. Safe for concurrent use; a nil sink
+// discards.
+func (s *progressSink) Printf(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.lines <- fmt.Sprintf(format, args...)
+}
+
+// Close flushes queued lines and stops the writer goroutine.
+func (s *progressSink) Close() {
+	if s == nil {
+		return
+	}
+	close(s.lines)
+	<-s.done
+}
+
+// runJobs fans jobs out over a worker pool and returns their results in
+// job order, so output built from the slice is deterministic regardless
+// of completion order. On error it returns the failure of the
+// lowest-indexed failing job (the same one a sequential loop would have
+// reported first, had it kept going past earlier successes).
+func runJobs[J, R any](jobs []J, workers int, run func(J) (R, error)) ([]R, error) {
+	results := make([]R, len(jobs))
+	errs := make([]error, len(jobs))
+	workers = clampWorkers(workers, len(jobs))
+
+	if workers == 1 {
+		// Strictly sequential: no goroutines, so single-worker runs keep
+		// the exact allocation and scheduling profile of the old loop.
+		for i, j := range jobs {
+			r, err := run(j)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = run(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -29,9 +29,15 @@ type ProtocolRow struct {
 
 // CompareProtocols runs every application under both protocols at the
 // given shape, validating results against the sequential references (so
-// the single-writer protocol's coherence is exercised end to end).
-func CompareProtocols(appNames []string, size apps.Size, nodes, threads int, progress io.Writer) ([]ProtocolRow, error) {
-	var rows []ProtocolRow
+// the single-writer protocol's coherence is exercised end to end). The
+// app × protocol runs fan out over the worker pool and merge into rows
+// in application order.
+func CompareProtocols(appNames []string, size apps.Size, nodes, threads int, progress io.Writer, workers int) ([]ProtocolRow, error) {
+	type job struct {
+		name  string
+		proto core.Protocol
+	}
+	var jobs []job
 	for _, name := range appNames {
 		app, err := apps.New(name, size)
 		if err != nil {
@@ -40,28 +46,43 @@ func CompareProtocols(appNames []string, size apps.Size, nodes, threads int, pro
 		if !app.SupportsThreads(threads) {
 			continue
 		}
-		row := ProtocolRow{App: name}
 		for _, proto := range []core.Protocol{core.ProtocolLRC, core.ProtocolSW} {
-			if progress != nil {
-				fmt.Fprintf(progress, "running %s under %v...\n", name, proto)
-			}
-			cfg := cvm.DefaultConfig(nodes, threads)
-			cfg.Protocol = proto
-			st, err := apps.RunConfig(name, size, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s under %v: %w", name, proto, err)
-			}
-			if proto == core.ProtocolLRC {
-				row.LRCWall = st.Wall
-				row.LRCMsgs = st.Net.TotalMsgs()
-				row.LRCKBytes = st.Net.TotalBytes() / 1024
-			} else {
-				row.SWWall = st.Wall
-				row.SWMsgs = st.Net.TotalMsgs()
-				row.SWKBytes = st.Net.TotalBytes() / 1024
-			}
+			jobs = append(jobs, job{name, proto})
 		}
-		rows = append(rows, row)
+	}
+
+	sink := newProgressSink(progress)
+	defer sink.Close()
+	stats, err := runJobs(jobs, workers, func(j job) (cvm.Stats, error) {
+		sink.Printf("running %s under %v...\n", j.name, j.proto)
+		cfg := cvm.DefaultConfig(nodes, threads)
+		cfg.Protocol = j.proto
+		st, err := apps.RunConfig(j.name, size, cfg)
+		if err != nil {
+			return cvm.Stats{}, fmt.Errorf("harness: %s under %v: %w", j.name, j.proto, err)
+		}
+		return st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ProtocolRow
+	for i, j := range jobs {
+		st := stats[i]
+		if len(rows) == 0 || rows[len(rows)-1].App != j.name {
+			rows = append(rows, ProtocolRow{App: j.name})
+		}
+		row := &rows[len(rows)-1]
+		if j.proto == core.ProtocolLRC {
+			row.LRCWall = st.Wall
+			row.LRCMsgs = st.Net.TotalMsgs()
+			row.LRCKBytes = st.Net.TotalBytes() / 1024
+		} else {
+			row.SWWall = st.Wall
+			row.SWMsgs = st.Net.TotalMsgs()
+			row.SWKBytes = st.Net.TotalBytes() / 1024
+		}
 	}
 	return rows, nil
 }

@@ -195,34 +195,55 @@ type Table5Row struct {
 }
 
 // Table5 runs the Water-Nsq variants at the paper's 8-processor setup and
-// builds the optimization case-study table.
-func Table5(size apps.Size, nodes int, threads []int, progress io.Writer) ([]Table5Row, error) {
+// builds the optimization case-study table. The variant × thread cells
+// fan out over the worker pool; speedups versus each variant's own T=1
+// run are computed in a deterministic post-pass.
+func Table5(size apps.Size, nodes int, threads []int, progress io.Writer, workers int) ([]Table5Row, error) {
 	variants := []string{"waternsq-noopts", "waternsq-localbarrier", "waternsq"}
-	var rows []Table5Row
+	type job struct {
+		variant string
+		threads int
+	}
+	var jobs []job
 	for _, variant := range variants {
-		var base cvm.Time
 		for _, t := range threads {
-			if progress != nil {
-				fmt.Fprintf(progress, "running %s %dx%d...\n", variant, nodes, t)
-			}
-			st, err := apps.Run(variant, size, nodes, t)
-			if err != nil {
-				return nil, fmt.Errorf("harness: table5 %s T=%d: %w", variant, t, err)
-			}
-			if t == 1 {
-				base = st.Wall
-			}
-			speedup := 0.0
-			if st.Wall > 0 && base > 0 {
-				speedup = (float64(base)/float64(st.Wall) - 1) * 100
-			}
-			rows = append(rows, Table5Row{
-				Variant:    variant,
-				Threads:    t,
-				SpeedupPct: speedup,
-				Table3Row:  table3Row(variant, t, st),
-			})
+			jobs = append(jobs, job{variant, t})
 		}
+	}
+
+	sink := newProgressSink(progress)
+	defer sink.Close()
+	stats, err := runJobs(jobs, workers, func(j job) (cvm.Stats, error) {
+		sink.Printf("running %s %dx%d...\n", j.variant, nodes, j.threads)
+		st, err := apps.Run(j.variant, size, nodes, j.threads)
+		if err != nil {
+			return cvm.Stats{}, fmt.Errorf("harness: table5 %s T=%d: %w", j.variant, j.threads, err)
+		}
+		return st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	base := make(map[string]cvm.Time, len(variants))
+	for i, j := range jobs {
+		if j.threads == 1 {
+			base[j.variant] = stats[i].Wall
+		}
+	}
+	rows := make([]Table5Row, 0, len(jobs))
+	for i, j := range jobs {
+		st := stats[i]
+		speedup := 0.0
+		if st.Wall > 0 && base[j.variant] > 0 {
+			speedup = (float64(base[j.variant])/float64(st.Wall) - 1) * 100
+		}
+		rows = append(rows, Table5Row{
+			Variant:    j.variant,
+			Threads:    j.threads,
+			SpeedupPct: speedup,
+			Table3Row:  table3Row(j.variant, j.threads, st),
+		})
 	}
 	return rows, nil
 }

@@ -134,7 +134,18 @@ type System struct {
 
 	lineShift uint
 	pageShift uint
+
+	// lastLine/lastPage memoize the previous data access for the
+	// contiguous-sweep fast path (see Access). noMemo disables the fast
+	// path; equivalence tests use it to check miss counts are identical.
+	lastLine uint64
+	lastPage uint64
+	noMemo   bool
 }
+
+// invalidLine is a line tag no real access can produce (addresses are
+// below 2^42), marking the memo empty.
+const invalidLine = ^uint64(0)
 
 // NewSystem returns a memory system with the given geometry.
 func NewSystem(p Params) *System {
@@ -146,6 +157,7 @@ func NewSystem(p Params) *System {
 		itlb:      newAssoc(p.ITLBSets, p.ITLBWays),
 		lineShift: log2(p.LineSize),
 		pageShift: log2(p.PageSize),
+		lastLine:  invalidLine,
 	}
 }
 
@@ -160,14 +172,32 @@ func (s *System) ResetStats() { s.stats = Stats{} }
 
 // Access simulates one data access at the given virtual address and
 // returns the time cost to charge to the accessing thread.
+//
+// Consecutive accesses to the same cache line take a batched fast path:
+// the previous access left the line resident and its page mapped, so the
+// access is a guaranteed double hit and the set-associative LRU walks are
+// skipped. A contiguous typed-array sweep therefore pays the tag-array
+// simulation once per line rather than once per element. Miss counts and
+// charged costs are bit-identical to the slow path (skipping a touch of
+// the just-touched — and therefore most-recent — way preserves the
+// relative LRU order of every set; TestAccessMemoEquivalence checks this
+// against the memo-disabled reference).
 func (s *System) Access(addr uint64) sim.Time {
+	line := addr >> s.lineShift
+	pg := addr >> s.pageShift
+	if line == s.lastLine && pg == s.lastPage && !s.noMemo {
+		s.stats.Accesses++
+		return s.params.HitCost
+	}
+	s.lastLine = line
+	s.lastPage = pg
 	s.stats.Accesses++
 	cost := s.params.HitCost
-	if !s.dcache.touch(addr >> s.lineShift) {
+	if !s.dcache.touch(line) {
 		s.stats.DCacheMisses++
 		cost += s.params.CacheMissPen
 	}
-	if !s.dtlb.touch(addr >> s.pageShift) {
+	if !s.dtlb.touch(pg) {
 		s.stats.DTLBMisses++
 		cost += s.params.TLBMissPen
 	}

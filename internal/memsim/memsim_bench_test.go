@@ -1,0 +1,42 @@
+package memsim
+
+import "testing"
+
+// Memory-access simulation dominates user-time charging: every shared
+// read/write runs one Access. The sweep benchmark measures the
+// contiguous fast path (typed-array traversals, page/twin copies); the
+// strided and random benchmarks measure the full tag-array walk.
+
+func benchmarkAccess(b *testing.B, next func(i int) uint64) {
+	s := NewSystem(SP2Params())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Access(next(i))
+	}
+}
+
+func BenchmarkAccessSweep(b *testing.B) {
+	benchmarkAccess(b, func(i int) uint64 { return uint64(i%(1<<20)) * 8 })
+}
+
+func BenchmarkAccessStrided(b *testing.B) {
+	benchmarkAccess(b, func(i int) uint64 { return uint64(i%(1<<14)) * 96 })
+}
+
+func BenchmarkAccessRandom(b *testing.B) {
+	benchmarkAccess(b, func(i int) uint64 {
+		x := uint64(i)*6364136223846793005 + 1442695040888963407
+		return (x >> 11) % (1 << 20)
+	})
+}
+
+func BenchmarkAccessRange(b *testing.B) {
+	s := NewSystem(SP2Params())
+	b.SetBytes(8 << 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AccessRange(uint64(i%16)<<13, 8<<10)
+	}
+}

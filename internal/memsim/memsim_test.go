@@ -233,3 +233,69 @@ func TestCostsArePositive(t *testing.T) {
 		}
 	}
 }
+
+// TestAccessMemoEquivalence drives identical pseudo-random access traces
+// through a memoized system and a memo-disabled reference and requires
+// bit-identical miss counts and per-access costs. The memo (the
+// contiguous-sweep fast path) must be a pure simulation-speed
+// optimization, invisible in every counter the tables report.
+func TestAccessMemoEquivalence(t *testing.T) {
+	traces := map[string]func(i int) uint64{
+		// Contiguous 8-byte sweep: the fast path's target.
+		"sweep": func(i int) uint64 { return uint64(i) * 8 },
+		// Strided accesses crossing lines every iteration.
+		"strided": func(i int) uint64 { return uint64(i) * 96 },
+		// Repeated same address.
+		"pinned": func(i int) uint64 { return 0x4000 },
+		// Pseudo-random: an LCG over a 1 MB region.
+		"random": func(i int) uint64 {
+			x := uint64(i)*6364136223846793005 + 1442695040888963407
+			return (x >> 11) % (1 << 20)
+		},
+		// Two interleaved sweeps (ping-pong defeats the memo but must
+		// still agree).
+		"pingpong": func(i int) uint64 {
+			if i%2 == 0 {
+				return uint64(i) * 4
+			}
+			return 1<<19 + uint64(i)*4
+		},
+	}
+	for name, trace := range traces {
+		fast := NewSystem(SP2Params())
+		ref := NewSystem(SP2Params())
+		ref.noMemo = true
+		for i := 0; i < 20000; i++ {
+			a := trace(i)
+			if cf, cr := fast.Access(a), ref.Access(a); cf != cr {
+				t.Fatalf("%s: access %d at %#x: fast cost %v != reference %v", name, i, a, cf, cr)
+			}
+		}
+		if fast.Stats() != ref.Stats() {
+			t.Errorf("%s: stats diverged: fast %+v, reference %+v", name, fast.Stats(), ref.Stats())
+		}
+	}
+}
+
+// TestAccessMemoEquivalenceRandomized complements the fixed traces with
+// quick.Check-driven address sequences.
+func TestAccessMemoEquivalenceRandomized(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		fast := NewSystem(AlphaParams())
+		ref := NewSystem(AlphaParams())
+		ref.noMemo = true
+		for _, a16 := range addrs {
+			// Repeat each address a few times so same-line runs occur.
+			for r := 0; r < 3; r++ {
+				a := uint64(a16) * 8
+				if fast.Access(a) != ref.Access(a) {
+					return false
+				}
+			}
+		}
+		return fast.Stats() == ref.Stats()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
