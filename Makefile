@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke perf-baseline
+.PHONY: check vet build test race golden-trace bench-smoke perf-baseline
 
-## check: the pre-commit gate — vet, build, race-test the harness, and a
+## check: the pre-commit gate (mirrors .github/workflows/ci.yml) — vet,
+## build, race-test everything, verify the golden trace, and a
 ## one-iteration pass over every benchmark so the perf kernels stay honest.
-check: vet build race bench-smoke
+check: vet build race golden-trace bench-smoke
 	@echo "check: OK"
 
 vet:
@@ -17,7 +18,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/harness/...
+	$(GO) test -race ./...
+
+## golden-trace: the protocol event-order regression oracle. Regenerate
+## with `go test ./internal/trace -run TestGoldenTrace -update` only for
+## intentional protocol or exporter changes.
+golden-trace:
+	$(GO) test ./internal/trace -run TestGoldenTrace
 
 ## bench-smoke: run each benchmark exactly once. Catches benchmarks that
 ## panic or assert-fail without paying for stable timings.

@@ -26,6 +26,7 @@ import (
 	"cvm/internal/apps"
 	"cvm/internal/harness"
 	"cvm/internal/netsim"
+	"cvm/internal/trace"
 )
 
 func main() {
@@ -37,11 +38,13 @@ func main() {
 
 func run() error {
 	var (
-		appName  = flag.String("app", "sor", "application: "+strings.Join(apps.Names(), ", "))
-		nodes    = flag.Int("nodes", 8, "number of nodes (processors)")
-		threads  = flag.String("threads", "1", "application threads per node (comma-separated list sweeps)")
-		size     = flag.String("size", "small", "input scale: test, small, paper")
-		parallel = flag.Int("parallel", 0, "worker goroutines for a threads sweep (0 = all CPUs, 1 = sequential)")
+		appName    = flag.String("app", "sor", "application: "+strings.Join(apps.Names(), ", "))
+		nodes      = flag.Int("nodes", 8, "number of nodes (processors)")
+		threads    = flag.String("threads", "1", "application threads per node (comma-separated list sweeps)")
+		size       = flag.String("size", "small", "input scale: test, small, paper")
+		parallel   = flag.Int("parallel", 0, "worker goroutines for a threads sweep (0 = all CPUs, 1 = sequential)")
+		traceOut   = flag.String("trace", "", "record protocol events and write Chrome trace JSON to this file (single -threads level only)")
+		traceLimit = flag.Int("trace-limit", 0, "per-node trace event ring bound (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -52,6 +55,13 @@ func run() error {
 	levels, err := parseThreadList(*threads)
 	if err != nil {
 		return err
+	}
+
+	if *traceOut != "" {
+		if len(levels) != 1 {
+			return fmt.Errorf("-trace needs a single -threads level, got %q", *threads)
+		}
+		return runTraced(*appName, sz, *nodes, levels[0], *size, *traceOut, *traceLimit)
 	}
 
 	// The sweep's cells are independent simulations; fan them out over
@@ -74,6 +84,33 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// runTraced executes one traced simulation and exports the events.
+func runTraced(appName string, sz apps.Size, nodes, threads int, size, out string, limit int) error {
+	rec := trace.NewRecorder(nodes, threads, limit)
+	cfg := cvm.DefaultConfig(nodes, threads)
+	cfg.Tracer = rec
+	st, err := apps.RunConfig(appName, sz, cfg)
+	if err != nil {
+		return err
+	}
+	if err := report(appName, nodes, threads, size, st); err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %d trace events to %s (load at ui.perfetto.dev)\n", rec.Len(), out)
 	return nil
 }
 

@@ -1,0 +1,92 @@
+// Command cvm-trace runs one application with protocol event tracing
+// enabled, exports the trace as Chrome trace-event JSON (loadable in
+// Perfetto or chrome://tracing), and optionally prints a latency report
+// reproducing the paper's §4.1 calibration numbers from the traced
+// events alone.
+//
+// Usage:
+//
+//	cvm-trace -app sor -nodes 8 -threads 2 -out trace.json
+//	cvm-trace -app waternsq -nodes 8 -threads 4 -report
+//	cvm-trace -app fft -nodes 4 -threads 2 -limit 100000 -out fft.json -report
+//
+// The exported JSON has one process per node; track 0 is protocol
+// (handler) context and tracks 1..T are the node's application threads.
+// Thread switches are drawn as flow arrows, remote faults and lock
+// acquires as spans, messages as flow arrows between nodes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cvm"
+	"cvm/internal/apps"
+	"cvm/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cvm-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appName = flag.String("app", "sor", "application: "+strings.Join(apps.Names(), ", "))
+		nodes   = flag.Int("nodes", 8, "number of nodes (processors)")
+		threads = flag.Int("threads", 2, "application threads per node")
+		size    = flag.String("size", "test", "input scale: test, small, paper")
+		out     = flag.String("out", "", "write Chrome trace-event JSON to this file")
+		report  = flag.Bool("report", false, "print the latency report (p50/p95/p99 per event class)")
+		limit   = flag.Int("limit", 0, "per-node event ring bound (0 = unbounded; oldest events drop first)")
+	)
+	flag.Parse()
+
+	if *out == "" && !*report {
+		return fmt.Errorf("nothing to do: pass -out trace.json and/or -report")
+	}
+	sz, err := apps.ParseSize(*size)
+	if err != nil {
+		return err
+	}
+
+	rec := trace.NewRecorder(*nodes, *threads, *limit)
+	cfg := cvm.DefaultConfig(*nodes, *threads)
+	cfg.Tracer = rec
+	st, err := apps.RunConfig(*appName, sz, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %d nodes x %d threads (%s input): %v steady-state wall time, %d events",
+		*appName, *nodes, *threads, *size, st.Wall, rec.Len())
+	if d := rec.Dropped(); d > 0 {
+		fmt.Printf(" (%d dropped by -limit %d)", d, *limit)
+	}
+	fmt.Println()
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (load at ui.perfetto.dev or chrome://tracing)\n", *out)
+	}
+	if *report {
+		fmt.Println()
+		if err := trace.AnalyzeRecorder(rec).Write(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

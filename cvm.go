@@ -40,6 +40,7 @@ import (
 	"cvm/internal/memsim"
 	"cvm/internal/netsim"
 	"cvm/internal/sim"
+	"cvm/internal/trace"
 )
 
 // Re-exported core types. Worker is the handle application code uses for
@@ -63,6 +64,9 @@ type (
 	Protocol = core.Protocol
 	// Time is virtual time in nanoseconds.
 	Time = sim.Time
+	// Tracer receives protocol events when set on Config.Tracer; see
+	// internal/trace for the event model, recorder, and exporters.
+	Tracer = trace.Tracer
 	// NetParams are interconnect cost parameters.
 	NetParams = netsim.Params
 	// MemParams are cache/TLB geometry parameters.

@@ -16,6 +16,7 @@ import (
 // read sharing that makes Barnes fault-bound) plus the exact bodies of its
 // own cells.
 type Barnes struct {
+	tolerance
 	bodies int
 	grid   int // grid dimension; cells = grid²
 	iters  int
@@ -202,7 +203,7 @@ func (b *Barnes) Main(w *cvm.Worker) {
 
 // Check implements App.
 func (b *Barnes) Check() error {
-	return checkClose("barnes", b.checksum, b.reference())
+	return b.checkClose("barnes", b.checksum, b.reference())
 }
 
 func (b *Barnes) reference() float64 {

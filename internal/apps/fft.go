@@ -19,6 +19,7 @@ import (
 // row counts that do not divide by the total thread count leave partial
 // pages shared between consecutive threads.
 type FFT struct {
+	tolerance
 	m     int // matrix dimension (power of two)
 	iters int
 
@@ -153,7 +154,7 @@ func (f *FFT) fftRows(w *cvm.Worker, mat cvm.F64Matrix, lo, hi int, re, im []flo
 
 // Check implements App.
 func (f *FFT) Check() error {
-	return checkClose("fft", f.checksum, f.reference())
+	return f.checkClose("fft", f.checksum, f.reference())
 }
 
 func (f *FFT) reference() float64 {

@@ -17,6 +17,7 @@ import (
 // residual accumulation is aggregated per node with a local barrier
 // before touching the global lock.
 type Ocean struct {
+	tolerance
 	n     int // fine grid dimension (paper: 258)
 	iters int
 
@@ -239,7 +240,7 @@ func (o *Ocean) Main(w *cvm.Worker) {
 
 // Check implements App.
 func (o *Ocean) Check() error {
-	return checkClose("ocean", o.checksum, o.reference())
+	return o.checkClose("ocean", o.checksum, o.reference())
 }
 
 func (o *Ocean) reference() float64 {

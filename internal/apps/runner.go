@@ -15,9 +15,21 @@ func Run(name string, size Size, nodes, threadsPerNode int) (cvm.Stats, error) {
 
 // RunConfig is Run with an explicit cluster configuration.
 func RunConfig(name string, size Size, cfg cvm.Config) (cvm.Stats, error) {
+	return RunConfigTol(name, size, cfg, 0)
+}
+
+// RunConfigTol is RunConfig with a widened relative checksum tolerance
+// (0 keeps the default). Experiments that perturb cluster timing — e.g.
+// the switch-cost ablation — change synchronization order and therefore
+// floating-point accumulation order; the result is the same computation
+// reassociated, which can drift past the default bound.
+func RunConfigTol(name string, size Size, cfg cvm.Config, tol float64) (cvm.Stats, error) {
 	app, err := New(name, size)
 	if err != nil {
 		return cvm.Stats{}, err
+	}
+	if tol > 0 {
+		app.(toleranceSetter).setCheckTol(tol)
 	}
 	if !app.SupportsThreads(cfg.ThreadsPerNode) {
 		return cvm.Stats{}, fmt.Errorf("apps: %s does not support %d threads per node",

@@ -13,6 +13,7 @@ import (
 // thread and a remote node, and local threads never block on the same
 // remote request after initialization.
 type SOR struct {
+	tolerance
 	rows, cols, iters int
 
 	grid     cvm.F64Matrix
@@ -100,7 +101,7 @@ func (s *SOR) Main(w *cvm.Worker) {
 
 // Check implements App.
 func (s *SOR) Check() error {
-	return checkClose("sor", s.checksum, s.reference())
+	return s.checkClose("sor", s.checksum, s.reference())
 }
 
 // reference runs the identical relaxation sequentially.

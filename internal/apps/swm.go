@@ -11,6 +11,7 @@ import (
 // partitions share pages — the source of the Block-Same-Page counts the
 // paper reports for SWM750.
 type SWM struct {
+	tolerance
 	n     int // grid dimension (paper: 750)
 	iters int
 
@@ -120,7 +121,7 @@ func (s *SWM) Main(w *cvm.Worker) {
 
 // Check implements App.
 func (s *SWM) Check() error {
-	return checkClose("swm750", s.checksum, s.reference())
+	return s.checkClose("swm750", s.checksum, s.reference())
 }
 
 func (s *SWM) reference() float64 {

@@ -45,6 +45,7 @@ func (v WaterVariant) String() string {
 // N-squared): per-molecule locks guard force updates, making it the
 // paper's lock-bound application and its Table 5 case study.
 type WaterNsq struct {
+	tolerance
 	n       int // molecules (paper: 512)
 	iters   int
 	variant WaterVariant
@@ -314,7 +315,7 @@ func forEachOwned(lo, hi int, descending bool, fn func(i int)) {
 
 // Check implements App.
 func (a *WaterNsq) Check() error {
-	return checkClose(a.Name(), a.checksum, a.reference())
+	return a.checkClose(a.Name(), a.checksum, a.reference())
 }
 
 func (a *WaterNsq) reference() float64 {

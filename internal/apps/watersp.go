@@ -13,6 +13,7 @@ import (
 // the profile the paper reports (most of Water-Sp's speedup comes from
 // fault time).
 type WaterSp struct {
+	tolerance
 	side  int // cells per dimension; cells = side³
 	perC  int // molecules per cell
 	iters int
@@ -266,7 +267,7 @@ func (a *WaterSp) Main(w *cvm.Worker) {
 
 // Check implements App.
 func (a *WaterSp) Check() error {
-	return checkClose("watersp", a.checksum, a.reference())
+	return a.checkClose("watersp", a.checksum, a.reference())
 }
 
 func (a *WaterSp) reference() float64 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cvm/internal/netsim"
+	"cvm/internal/trace"
 )
 
 // nodeBarrier is one node's state for one global barrier: local arrivals
@@ -37,9 +38,13 @@ func (t *Thread) Barrier(id int) {
 	n := t.node
 	b := n.barrierAt(id)
 	b.arrived++
+	if tr := t.sys.tracer; tr != nil {
+		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindBarrierArrive,
+			Node: int32(n.id), Thread: int32(t.gid), Sync: int32(id)})
+	}
 	if b.arrived < n.sys.cfg.ThreadsPerNode {
 		b.waiters = append(b.waiters, t)
-		t.task.Block(ReasonBarrier)
+		t.block(ReasonBarrier)
 		return
 	}
 
@@ -56,7 +61,7 @@ func (t *Thread) Barrier(id int) {
 		t.task.Schedule(t.task.Now(), func() {
 			sys.barrierArrival(id, mgr, vt)
 		})
-		t.task.Block(ReasonBarrier)
+		t.block(ReasonBarrier)
 		return
 	}
 	infos := n.ownInfosSince() // manager learns our new intervals
@@ -66,7 +71,7 @@ func (t *Thread) Barrier(id int) {
 			sys.nodes[mgr].applyInfos(infos, nil)
 			sys.barrierArrival(id, n.id, vt)
 		})
-	t.task.Block(ReasonBarrier)
+	t.block(ReasonBarrier)
 }
 
 // ownInfosSince returns the node's own intervals not yet shipped to the
@@ -128,6 +133,10 @@ func (n *node) releaseBarrier(id int) {
 	waiters := b.waiters
 	b.waiters = nil
 	b.arrived = 0
+	if tr := n.sys.tracer; tr != nil {
+		tr.Emit(trace.Event{T: n.sys.eng.Now(), Kind: trace.KindBarrierRelease,
+			Node: int32(n.id), Thread: -1, Sync: int32(id)})
+	}
 	for _, w := range waiters {
 		n.sys.eng.Wake(w.task)
 	}
@@ -142,15 +151,23 @@ func (t *Thread) LocalBarrier(id int) {
 	key := localBarrierKeyBase + id
 	b := n.barrierAt(key)
 	b.arrived++
+	if tr := t.sys.tracer; tr != nil {
+		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindBarrierArrive,
+			Node: int32(n.id), Thread: int32(t.gid), Sync: int32(id), Aux: 1})
+	}
 	if b.arrived < n.sys.cfg.ThreadsPerNode {
 		b.waiters = append(b.waiters, t)
-		t.task.Block(ReasonBarrier)
+		t.block(ReasonBarrier)
 		return
 	}
 	waiters := b.waiters
 	b.waiters = nil
 	b.arrived = 0
 	t.task.Advance(t.sys.cfg.LocalBarrierCost)
+	if tr := t.sys.tracer; tr != nil {
+		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindBarrierRelease,
+			Node: int32(n.id), Thread: int32(t.gid), Sync: int32(id), Aux: 1})
+	}
 	for _, w := range waiters {
 		t.sys.eng.WakeAt(w.task, t.task.Now())
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"cvm/internal/netsim"
 	"cvm/internal/sim"
+	"cvm/internal/trace"
 )
 
 // faultState tracks one in-flight remote page fetch: the parallel diff
@@ -48,6 +49,10 @@ func (t *Thread) ensureAccess(p *page, write bool) {
 				copy(twin, p.data)
 				p.twin = twin
 				t.task.Advance(n.mem.AccessRange(t.pageVA(p.id), cfg.PageSize))
+				if tr := t.sys.tracer; tr != nil {
+					tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindTwinCreate,
+						Node: int32(n.id), Thread: int32(t.gid), Page: int32(p.id)})
+				}
 			}
 			t.task.Advance(cfg.MprotectCost)
 			if p.state != PageReadOnly || p.twin == nil {
@@ -80,15 +85,25 @@ func (t *Thread) remoteFault(p *page) {
 	if fs := p.fault; fs != nil {
 		n.stats.BlockSamePage++
 		fs.waiters = append(fs.waiters, t)
-		t.task.Block(ReasonFault)
+		t.block(ReasonFault)
 		return
 	}
 
+	// The fault span opens before signal delivery is charged, matching
+	// the paper's accounting of the ~1100µs remote fault path.
+	if tr := t.sys.tracer; tr != nil {
+		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindFaultStart,
+			Node: int32(n.id), Thread: int32(t.gid), Page: int32(p.id)})
+	}
 	t.task.Advance(cfg.SignalCost)
 	ranges := p.missingFrom()
 	if len(ranges) == 0 {
 		// Raced with a completing fetch; nothing is missing anymore.
 		p.state = validState(p)
+		if tr := t.sys.tracer; tr != nil {
+			tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindFaultResolve,
+				Node: int32(n.id), Thread: int32(t.gid), Page: int32(p.id)})
+		}
 		return
 	}
 
@@ -122,7 +137,7 @@ func (t *Thread) remoteFault(p *page) {
 	}
 
 	fs.waiters = append(fs.waiters, t)
-	t.task.Block(ReasonFault)
+	t.block(ReasonFault)
 
 	if p.fault == fs && fs.ready && fs.waiters[0] == t {
 		t.applyFault(fs)
@@ -150,6 +165,11 @@ func (t *Thread) applyFault(fs *faultState) {
 		for _, run := range d.Runs {
 			t.task.Advance(n.mem.AccessRange(base+uint64(run.Off), len(run.Data)))
 		}
+		if tr := t.sys.tracer; tr != nil {
+			tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindDiffApply,
+				Node: int32(n.id), Thread: int32(t.gid), Page: int32(p.id),
+				Peer: int32(d.Node), Arg: int64(d.Idx), Aux: int64(d.Bytes())})
+		}
 	}
 	// Empty replies still certify the requested ranges.
 	for _, r := range fs.ranges {
@@ -163,6 +183,11 @@ func (t *Thread) applyFault(fs *faultState) {
 		p.state = validState(p)
 	} // else: a write notice arrived mid-fetch; stay invalid and re-fault.
 
+	if tr := t.sys.tracer; tr != nil {
+		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindFaultResolve,
+			Node: int32(n.id), Thread: int32(t.gid), Page: int32(p.id),
+			Arg: int64(len(fs.diffs))})
+	}
 	p.fault = nil
 	n.inFlightFaults--
 	for _, w := range fs.waiters[1:] {

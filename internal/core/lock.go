@@ -2,6 +2,7 @@ package core
 
 import (
 	"cvm/internal/netsim"
+	"cvm/internal/trace"
 )
 
 // lockState is one node's view of one global lock. Lock ownership is a
@@ -54,6 +55,7 @@ func (t *Thread) Lock(id int) {
 		t.task.Advance(cfg.LockLocalCost)
 		l.heldBy = t
 		n.stats.LocalLockAcquires++
+		t.traceLockAcquire(id, true)
 
 	case l.heldBy != nil || l.requested || len(l.localQ) > 0:
 		// Locally contended: join the local queue. This is the paper's
@@ -61,8 +63,9 @@ func (t *Thread) Lock(id int) {
 		n.stats.BlockSameLock++
 		n.stats.LocalLockAcquires++
 		l.localQ = append(l.localQ, t)
-		t.task.Block(ReasonLock)
+		t.block(ReasonLock)
 		// Woken as the holder (set by the releaser or the grant).
+		t.traceLockAcquire(id, true)
 
 	default:
 		// Token elsewhere: one remote request via the manager.
@@ -72,9 +75,29 @@ func (t *Thread) Lock(id int) {
 		n.stats.OutstandingLocks += int64(n.inFlightLocks)
 		n.inFlightLocks++
 		l.localQ = append(l.localQ, t)
+		if tr := t.sys.tracer; tr != nil {
+			tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindLockRequest,
+				Node: int32(n.id), Thread: int32(t.gid), Sync: int32(id)})
+		}
 		t.sendLockRequest(l)
-		t.task.Block(ReasonLock)
+		t.block(ReasonLock)
+		t.traceLockAcquire(id, false)
 	}
+}
+
+// traceLockAcquire records that the thread now holds lock id; local
+// marks acquires satisfied without messages (cached token/local queue).
+func (t *Thread) traceLockAcquire(id int, local bool) {
+	tr := t.sys.tracer
+	if tr == nil {
+		return
+	}
+	var arg int64
+	if local {
+		arg = 1
+	}
+	tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindLockAcquire,
+		Node: int32(t.node.id), Thread: int32(t.gid), Sync: int32(id), Arg: arg})
 }
 
 // sendLockRequest routes the acquire to the lock's manager. The request
@@ -117,6 +140,13 @@ func (n *node) handleLockManagerRequest(id, from int, reqVT VClock) {
 		return
 	}
 	sys := n.sys
+	if tr := sys.tracer; tr != nil {
+		// A remote forward marks the 3-hop acquire path (the 2-hop path
+		// resolves at the manager without one).
+		tr.Emit(trace.Event{T: sys.eng.Now(), Kind: trace.KindLockForward,
+			Node: int32(n.id), Thread: -1, Sync: int32(id),
+			Peer: int32(last), Arg: int64(from)})
+	}
 	sys.net.SendFromHandler(netsim.NodeID(n.id), netsim.NodeID(last),
 		netsim.ClassLock, lockMsgBytes+reqVT.wireBytes(), func() {
 			sys.nodes[last].handleLockHandoff(id, from, reqVT)
@@ -160,6 +190,10 @@ func (n *node) grantLock(l *lockState, to int, reqVT VClock) {
 func (n *node) handleLockGrant(id int, infos []*IntervalInfo, senderVT VClock) {
 	l := n.lockAt(id)
 	n.applyInfos(infos, senderVT)
+	if tr := n.sys.tracer; tr != nil {
+		tr.Emit(trace.Event{T: n.sys.eng.Now(), Kind: trace.KindLockGrant,
+			Node: int32(n.id), Thread: -1, Sync: int32(id)})
+	}
 	l.token = true
 	l.requested = false
 	n.inFlightLocks--
@@ -181,6 +215,10 @@ func (t *Thread) Unlock(id int) {
 	}
 	n.closeInterval(t)
 	t.task.Advance(t.sys.cfg.LockLocalCost)
+	if tr := t.sys.tracer; tr != nil {
+		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindLockRelease,
+			Node: int32(n.id), Thread: int32(t.gid), Sync: int32(id)})
+	}
 
 	if len(l.localQ) > 0 {
 		next := l.localQ[0]

@@ -5,6 +5,7 @@ import (
 
 	"cvm/internal/memsim"
 	"cvm/internal/sim"
+	"cvm/internal/trace"
 )
 
 // node holds one processor's DSM state: its page table, interval
@@ -63,8 +64,21 @@ func (n *node) onSwitch(from, to *sim.Task) {
 	// Scheduler code plus the incoming thread's code phase touch the
 	// I-TLB; this is the synthetic instruction-locality model (Figure 2).
 	n.mem.InstrTouch(schedCodePage)
-	if th := n.sys.threadOf(to); th != nil {
+	th := n.sys.threadOf(to)
+	if th != nil {
 		th.touchPhaseCode()
+	}
+	if tr := n.sys.tracer; tr != nil {
+		fromGid := int64(-1)
+		if f := n.sys.threadOf(from); f != nil {
+			fromGid = int64(f.gid)
+		}
+		toGid := int32(-1)
+		if th != nil {
+			toGid = int32(th.gid)
+		}
+		tr.Emit(trace.Event{T: n.proc.Clock(), Kind: trace.KindThreadSwitch,
+			Node: int32(n.id), Thread: toGid, Arg: fromGid})
 	}
 }
 
@@ -156,6 +170,18 @@ func (n *node) closeInterval(t *Thread) {
 		if t != nil {
 			t.task.Advance(n.sys.cfg.DiffCreateCost +
 				n.mem.AccessRange(uint64(pg)<<n.sys.pageShift, n.sys.cfg.PageSize))
+		}
+		if tr := n.sys.tracer; tr != nil {
+			ev := trace.Event{Kind: trace.KindDiffCreate, Node: int32(n.id),
+				Thread: -1, Page: int32(pg),
+				Arg: int64(d.Bytes()), Aux: int64(n.curIdx)}
+			if t != nil {
+				ev.T = t.task.Now()
+				ev.Thread = int32(t.gid)
+			} else {
+				ev.T = n.sys.eng.Now()
+			}
+			tr.Emit(ev)
 		}
 		if p.state == PageReadWrite {
 			p.state = PageReadOnly

@@ -67,7 +67,7 @@ func (t *Thread) ReduceF64(id int, v float64, op ReduceOp) float64 {
 	r.arrived++
 	if r.arrived < n.sys.cfg.ThreadsPerNode {
 		r.waiters = append(r.waiters, t)
-		t.task.Block(ReasonBarrier)
+		t.block(ReasonBarrier)
 		return r.result
 	}
 
@@ -80,14 +80,14 @@ func (t *Thread) ReduceF64(id int, v float64, op ReduceOp) float64 {
 		t.task.Schedule(t.task.Now(), func() {
 			sys.reduceArrival(id, contribution, op)
 		})
-		t.task.Block(ReasonBarrier)
+		t.block(ReasonBarrier)
 		return r.result
 	}
 	sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
 		netsim.ClassBarrier, reduceMsgBytes, func() {
 			sys.reduceArrival(id, contribution, op)
 		})
-	t.task.Block(ReasonBarrier)
+	t.block(ReasonBarrier)
 	return r.result
 }
 

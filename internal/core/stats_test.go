@@ -1,0 +1,67 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"cvm/internal/sim"
+)
+
+// fillDistinct sets every numeric field of a NodeStats to a distinct
+// nonzero value via reflection, so a field dropped from Add or Wall
+// can't cancel out.
+func fillDistinct(s *NodeStats, base int64) {
+	v := reflect.ValueOf(s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(base + int64(i)*7)
+	}
+}
+
+// TestNodeStatsAddAllFields checks Add field by field via reflection:
+// a counter added to NodeStats but forgotten in Add would silently
+// report per-node-only totals, and this test fails instead.
+func TestNodeStatsAddAllFields(t *testing.T) {
+	var a, b NodeStats
+	fillDistinct(&a, 1000)
+	fillDistinct(&b, 5)
+	want := reflect.ValueOf(a)
+	got := a
+	got.Add(b)
+
+	gv := reflect.ValueOf(got)
+	bv := reflect.ValueOf(b)
+	rt := reflect.TypeOf(a)
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		sum := want.Field(i).Int() + bv.Field(i).Int()
+		if gv.Field(i).Int() != sum {
+			t.Errorf("Add dropped or miscombined field %s: got %d, want %d",
+				name, gv.Field(i).Int(), sum)
+		}
+	}
+}
+
+// TestNodeStatsWall checks that Wall sums exactly the Figure-1 time
+// components — every sim.Time field of NodeStats and nothing else.
+func TestNodeStatsWall(t *testing.T) {
+	var s NodeStats
+	fillDistinct(&s, 100)
+	var want sim.Time
+	v := reflect.ValueOf(s)
+	rt := v.Type()
+	timeType := reflect.TypeOf(sim.Time(0))
+	timeFields := 0
+	for i := 0; i < rt.NumField(); i++ {
+		if rt.Field(i).Type == timeType {
+			want += sim.Time(v.Field(i).Int())
+			timeFields++
+		}
+	}
+	if timeFields != 4 {
+		t.Fatalf("NodeStats has %d sim.Time fields, Figure 1 defines 4 "+
+			"(user, fault, lock, barrier) — update Wall and this test together", timeFields)
+	}
+	if got := s.Wall(); got != want {
+		t.Errorf("Wall() = %v, want the sum of all time components %v", got, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"cvm/internal/netsim"
+	"cvm/internal/trace"
 )
 
 // Protocol selects the coherence protocol. CVM was built as a platform
@@ -86,7 +87,7 @@ func (t *Thread) swEnsureAccess(p *page, write bool) {
 			if f := p.swf; f != nil {
 				n.stats.BlockSamePage++
 				f.waiters = append(f.waiters, t)
-				t.task.Block(ReasonFault)
+				t.block(ReasonFault)
 				continue
 			}
 			t.task.Advance(cfg.SignalCost)
@@ -96,6 +97,10 @@ func (t *Thread) swEnsureAccess(p *page, write bool) {
 			f := &swFault{}
 			p.swf = f
 			f.waiters = append(f.waiters, t)
+			if tr := t.sys.tracer; tr != nil {
+				tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindFaultStart,
+					Node: int32(n.id), Thread: int32(t.gid), Page: int32(p.id)})
+			}
 			n.stats.RemoteFaults++
 			n.stats.OutstandingFaults += int64(n.inFlightFaults)
 			n.stats.OutstandingLocks += int64(n.inFlightLocks)
@@ -116,7 +121,7 @@ func (t *Thread) swEnsureAccess(p *page, write bool) {
 						sys.nodes[mgr].swHandleRequest(p.id, req)
 					})
 			}
-			t.task.Block(ReasonFault)
+			t.block(ReasonFault)
 			// Completion installed the page and cleared p.swf; loop to
 			// validate the new access rights.
 		}
@@ -250,6 +255,10 @@ func (n *node) swComplete(p *page) {
 	}
 	p.swf = nil
 	n.inFlightFaults--
+	if tr := n.sys.tracer; tr != nil {
+		tr.Emit(trace.Event{T: n.sys.eng.Now(), Kind: trace.KindFaultResolve,
+			Node: int32(n.id), Thread: -1, Page: int32(p.id)})
+	}
 	for _, w := range f.waiters {
 		n.sys.eng.Wake(w.task)
 	}

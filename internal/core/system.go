@@ -8,6 +8,7 @@ import (
 	"cvm/internal/memsim"
 	"cvm/internal/netsim"
 	"cvm/internal/sim"
+	"cvm/internal/trace"
 )
 
 // Config parameterizes a simulated CVM cluster.
@@ -48,6 +49,14 @@ type Config struct {
 	// recently readied thread runs first, preserving its cache and TLB
 	// state. CVM's original scheduler — and the default here — is FIFO.
 	LIFOScheduler bool
+
+	// Tracer, when non-nil, receives every protocol and network event
+	// (faults, twins/diffs, lock and barrier steps, thread scheduling,
+	// message send/deliver) with virtual timestamps. The hot paths guard
+	// each emission with a nil check, so a nil Tracer costs one branch
+	// and no allocation. Use trace.NewRecorder and the trace exporters
+	// to capture and analyze a run.
+	Tracer trace.Tracer
 }
 
 // DefaultConfig returns the paper's cluster calibration for the given
@@ -109,6 +118,9 @@ type System struct {
 	started      bool
 	t0           sim.Time
 
+	// tracer mirrors cfg.Tracer; hot paths nil-check this field.
+	tracer trace.Tracer
+
 	// pageBufs recycles page-sized byte buffers. Twins churn hardest —
 	// one allocation per write-collection episode per page — and every
 	// closed interval frees one; page copies draw from the same pool.
@@ -154,7 +166,9 @@ func NewSystem(cfg Config) (*System, error) {
 		episodes:       make(map[int]*barrierEpisode),
 		reduceEpisodes: make(map[int]*reduceEpisode),
 		threadByTask:   make(map[int]*Thread),
+		tracer:         cfg.Tracer,
 	}
+	s.net.SetTracer(cfg.Tracer)
 	for i := 0; i < cfg.Nodes; i++ {
 		proc := eng.AddProc(cfg.SwitchCost)
 		proc.SetLIFO(cfg.LIFOScheduler)

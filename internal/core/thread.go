@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"cvm/internal/sim"
+	"cvm/internal/trace"
 )
 
 // Thread is one application thread of the DSM: the handle through which
@@ -77,6 +78,23 @@ func (t *Thread) touchPhaseCode() {
 const phaseCodePages = 3
 
 func phaseCodeBase(phase int) uint64 { return 2<<40 + uint64(phase)*phaseCodePages }
+
+// block suspends the thread with reason (the protocol's Block event),
+// bracketing the wait with block/unblock trace events when tracing is
+// enabled. All protocol block sites go through this helper so traces
+// capture every wait with its Figure-1 attribution.
+func (t *Thread) block(reason sim.Reason) {
+	tr := t.sys.tracer
+	if tr == nil {
+		t.task.Block(reason)
+		return
+	}
+	tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindThreadBlock,
+		Node: int32(t.node.id), Thread: int32(t.gid), Arg: int64(reason)})
+	t.task.Block(reason)
+	tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindThreadUnblock,
+		Node: int32(t.node.id), Thread: int32(t.gid), Arg: int64(reason)})
+}
 
 // locate resolves a shared address to the node's page view.
 func (t *Thread) locate(a Addr) (*page, int) {

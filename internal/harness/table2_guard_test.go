@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"cvm/internal/netsim"
+)
+
+// TestTable2RowCoversAllClasses guards Table2Row against a silently
+// missing column: for every netsim message class there must be a
+// `<Class>Msgs` int64 field (and a matching `<Class>DelayMs` for the
+// paper's non-overlapped delay columns). Adding a fourth message class
+// to netsim without extending Table 2 fails here instead of shipping a
+// table whose class columns no longer sum to the total.
+func TestTable2RowCoversAllClasses(t *testing.T) {
+	rt := reflect.TypeOf(Table2Row{})
+	for _, c := range netsim.Classes() {
+		msgs := c.String() + "Msgs"
+		f, ok := rt.FieldByName(msgs)
+		if !ok {
+			t.Errorf("Table2Row has no %s field for class %v", msgs, c)
+		} else if f.Type.Kind() != reflect.Int64 {
+			t.Errorf("Table2Row.%s is %v, want int64", msgs, f.Type)
+		}
+		delay := c.String() + "DelayMs"
+		if _, ok := rt.FieldByName(delay); !ok {
+			t.Errorf("Table2Row has no %s field for class %v", delay, c)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"cvm/internal/sim"
+	"cvm/internal/trace"
 )
 
 // NodeID identifies a node (processor) in the simulated cluster.
@@ -112,6 +113,17 @@ func (s Stats) TotalBytes() int64 {
 	return n
 }
 
+// Classes returns every message class in Table 2 column order. Tests
+// use it to guard that new classes are reflected in the accounting
+// arrays and the Table 2 writer.
+func Classes() []Class {
+	cs := make([]Class, numClasses)
+	for i := range cs {
+		cs[i] = Class(i)
+	}
+	return cs
+}
+
 // Network simulates the interconnect between a fixed set of nodes.
 type Network struct {
 	eng    *sim.Engine
@@ -120,7 +132,9 @@ type Network struct {
 	egressFree  []sim.Time // per-node time the NIC egress frees up
 	ingressFree []sim.Time // per-node time the ingress frees up
 
-	stats Stats
+	stats  Stats
+	tracer trace.Tracer // nil when tracing is off
+	msgID  int64        // trace message id linking send to delivery
 }
 
 // New returns a network connecting nodes 0..nodes-1.
@@ -135,6 +149,12 @@ func New(eng *sim.Engine, nodes int, params Params) *Network {
 
 // Params returns the network's cost parameters.
 func (n *Network) Params() Params { return n.params }
+
+// SetTracer installs a protocol event tracer (nil disables tracing).
+// Every transmitted message then records a send event at egress
+// departure and a deliver event at handler start, linked by a message
+// id for flow rendering.
+func (n *Network) SetTracer(tr trace.Tracer) { n.tracer = tr }
 
 // Stats returns a snapshot of the per-class traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
@@ -156,7 +176,7 @@ func (n *Network) SendFromTask(t *sim.Task, from, to NodeID, class Class, bytes 
 	depart := maxTime(t.Now(), n.egressFree[from])
 	depart += n.params.transfer(bytes)
 	n.egressFree[from] = depart
-	handlerAt := n.arrival(depart, to, class, bytes)
+	handlerAt := n.arrival(depart, from, to, class, bytes)
 	// Task.Schedule lowers the sender's causality horizon so the sender
 	// cannot run past the delivery before it is applied.
 	t.Schedule(handlerAt, deliver)
@@ -172,18 +192,27 @@ func (n *Network) SendFromHandler(from, to NodeID, class Class, bytes int, deliv
 	depart := maxTime(n.eng.Now(), n.egressFree[from])
 	depart += n.params.SendOverhead + n.params.transfer(bytes)
 	n.egressFree[from] = depart
-	handlerAt := n.arrival(depart, to, class, bytes)
+	handlerAt := n.arrival(depart, from, to, class, bytes)
 	n.eng.Schedule(handlerAt, deliver)
 }
 
 // arrival accounts the message and computes when its handler runs at the
 // receiver, serializing concurrent arrivals at the ingress.
-func (n *Network) arrival(depart sim.Time, to NodeID, class Class, bytes int) sim.Time {
+func (n *Network) arrival(depart sim.Time, from, to NodeID, class Class, bytes int) sim.Time {
 	n.stats.Msgs[class]++
 	n.stats.Bytes[class] += int64(bytes)
 	arrive := depart + n.params.WireLatency
 	handlerAt := maxTime(arrive, n.ingressFree[to]) + n.params.RecvOverhead
 	n.ingressFree[to] = handlerAt
+	if n.tracer != nil {
+		n.msgID++
+		n.tracer.Emit(trace.Event{T: depart, Kind: trace.KindMsgSend,
+			Node: int32(from), Thread: -1, Peer: int32(to),
+			Sync: int32(class), Arg: int64(bytes), Aux: n.msgID})
+		n.tracer.Emit(trace.Event{T: handlerAt, Kind: trace.KindMsgDeliver,
+			Node: int32(to), Thread: -1, Peer: int32(from),
+			Sync: int32(class), Arg: int64(bytes), Aux: n.msgID})
+	}
 	return handlerAt
 }
 

@@ -1,0 +1,256 @@
+// Package trace is the protocol observability layer: a deterministic,
+// zero-overhead-when-disabled event recorder for the simulated DSM.
+//
+// The protocol and network layers emit typed events (page faults, twin
+// and diff lifecycle, lock and barrier protocol steps, thread scheduling,
+// message send/deliver) through a nil-checkable Tracer held on the
+// cluster Config. Because the simulator dispatches entities in strict
+// virtual-time order, the emission sequence — and therefore every
+// exported artifact — is bit-reproducible for a given configuration,
+// which makes a recorded trace usable as a golden regression oracle for
+// the protocol's event ordering.
+//
+// Three consumers are provided: the Recorder (per-node append-only ring
+// buffers), the Chrome trace-event exporter (chrome.go, loadable in
+// Perfetto), and the latency analyzer (analyze.go), which rebuilds the
+// paper's §4.1 primitive costs from events alone.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"cvm/internal/sim"
+)
+
+// Kind is the type of a protocol event.
+type Kind uint8
+
+// Event kinds. The comment after each kind documents which Event fields
+// are meaningful for it; unset fields are zero.
+const (
+	// KindFaultStart: a remote page fault begins at Node. Thread is the
+	// faulting thread, Page the faulted page. Emitted before signal
+	// delivery is charged, matching the paper's fault cost accounting.
+	KindFaultStart Kind = iota
+	// KindFaultResolve: the fault on Page at Node completed; the page is
+	// consistent (or re-faults). Arg is the number of diffs applied.
+	// Thread is the applying thread (-1 under the SW protocol, where the
+	// completion runs in handler context).
+	KindFaultResolve
+	// KindTwinCreate: a local write fault created a twin of Page at Node
+	// (Thread is the writer).
+	KindTwinCreate
+	// KindDiffCreate: closing an interval materialized a diff of Page at
+	// Node. Thread is the closing thread (-1 when closed from handler
+	// context), Arg the diff's wire size in bytes, Aux the interval index.
+	KindDiffCreate
+	// KindDiffApply: a diff created by node Peer (interval index Arg) was
+	// applied to Page at Node by Thread. Aux is the diff's wire size.
+	KindDiffApply
+	// KindLockRequest: Thread at Node sent a remote acquire for lock
+	// Sync toward its manager.
+	KindLockRequest
+	// KindLockForward: the manager (Node) forwarded the request of node
+	// Arg for lock Sync to the last requester, node Peer. Only emitted for
+	// the 3-hop path; 2-hop acquires have no forward.
+	KindLockForward
+	// KindLockGrant: the token for lock Sync arrived back at requester
+	// Node (handler context; Thread is -1).
+	KindLockGrant
+	// KindLockAcquire: Thread at Node now holds lock Sync. Arg is 1 for
+	// acquires satisfied locally (cached token or local queue), 0 for
+	// acquires that needed a remote request.
+	KindLockAcquire
+	// KindLockRelease: Thread at Node released lock Sync.
+	KindLockRelease
+	// KindBarrierArrive: Thread at Node arrived at barrier Sync. Aux is 1
+	// for node-local barriers, 0 for global ones.
+	KindBarrierArrive
+	// KindBarrierRelease: barrier Sync released its waiters at Node.
+	// Thread is -1 for global barriers (release runs in handler context);
+	// for local barriers (Aux=1) it is the last-arriving thread.
+	KindBarrierRelease
+	// KindThreadSwitch: Node dispatched Thread after running thread Arg
+	// (global ids). Emitted after the switch cost is charged.
+	KindThreadSwitch
+	// KindThreadBlock: Thread at Node blocked; Arg is the sim.Reason
+	// (fault/lock/barrier) for idle-time attribution.
+	KindThreadBlock
+	// KindThreadUnblock: Thread at Node resumed after a block; Arg is the
+	// same reason recorded at block time.
+	KindThreadUnblock
+	// KindMsgSend: a message of class Sync left Node's egress for Peer.
+	// T is the departure time (after egress queueing), Arg the payload
+	// bytes, Aux the network-wide message id linking send to delivery.
+	KindMsgSend
+	// KindMsgDeliver: the message with id Aux (class Sync, Arg bytes,
+	// sent by Peer) started its handler at Node.
+	KindMsgDeliver
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindFaultStart:     "fault.start",
+	KindFaultResolve:   "fault.resolve",
+	KindTwinCreate:     "twin.create",
+	KindDiffCreate:     "diff.create",
+	KindDiffApply:      "diff.apply",
+	KindLockRequest:    "lock.request",
+	KindLockForward:    "lock.forward",
+	KindLockGrant:      "lock.grant",
+	KindLockAcquire:    "lock.acquire",
+	KindLockRelease:    "lock.release",
+	KindBarrierArrive:  "barrier.arrive",
+	KindBarrierRelease: "barrier.release",
+	KindThreadSwitch:   "thread.switch",
+	KindThreadBlock:    "thread.block",
+	KindThreadUnblock:  "thread.unblock",
+	KindMsgSend:        "msg.send",
+	KindMsgDeliver:     "msg.deliver",
+}
+
+// String returns the dotted event-kind name used in exports and reports.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// NumKinds reports the number of defined event kinds.
+func NumKinds() int { return int(numKinds) }
+
+// Event is one recorded protocol event. The struct is fixed-size and
+// pointer-free so recording never allocates beyond the ring's backing
+// array. Field meaning is kind-specific; see the Kind constants.
+type Event struct {
+	T    sim.Time // virtual timestamp
+	Seq  uint64   // global emission order, assigned by the Recorder
+	Aux  int64    // kind-specific auxiliary value
+	Arg  int64    // kind-specific argument
+	Kind Kind
+
+	Node   int32 // node the event is recorded against
+	Thread int32 // global thread id; -1 for handler (engine) context
+	Page   int32 // page id, for page-related kinds
+	Sync   int32 // lock/barrier id, or message class for msg kinds
+	Peer   int32 // other node involved, for cross-node kinds
+}
+
+// Tracer receives protocol events. The hot paths guard every emission
+// with a nil check on the configured Tracer, so a disabled tracer costs
+// one predictable branch and nothing else.
+type Tracer interface {
+	Emit(e Event)
+}
+
+// ring is one node's event buffer: append-only until limit, then a
+// circular overwrite of the oldest events.
+type ring struct {
+	buf     []Event
+	next    int // write cursor once full
+	full    bool
+	dropped uint64
+}
+
+func (r *ring) add(e Event, limit int) {
+	if limit <= 0 || len(r.buf) < limit {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % limit
+	r.full = true
+	r.dropped++
+}
+
+// events returns the ring contents in emission order.
+func (r *ring) events() []Event {
+	if !r.full {
+		return r.buf
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Recorder is the standard Tracer: per-node ring buffers with an
+// optional bound. The simulator runs one entity at a time with
+// happens-before edges between consecutive dispatches, so the Recorder
+// needs no locking; it must not be shared between concurrent systems.
+type Recorder struct {
+	nodes          int
+	threadsPerNode int
+	limit          int // per-node event cap; 0 means unbounded
+	seq            uint64
+	rings          []ring
+}
+
+// NewRecorder returns a Recorder for a cluster of the given shape.
+// limit bounds the events kept per node (oldest dropped first);
+// limit <= 0 keeps everything.
+func NewRecorder(nodes, threadsPerNode, limit int) *Recorder {
+	return &Recorder{
+		nodes:          nodes,
+		threadsPerNode: threadsPerNode,
+		limit:          limit,
+		rings:          make([]ring, nodes),
+	}
+}
+
+// Nodes reports the cluster's node count.
+func (r *Recorder) Nodes() int { return r.nodes }
+
+// ThreadsPerNode reports the cluster's per-node threading level.
+func (r *Recorder) ThreadsPerNode() int { return r.threadsPerNode }
+
+// Emit records e, stamping its global sequence number. It implements
+// Tracer.
+func (r *Recorder) Emit(e Event) {
+	r.seq++
+	e.Seq = r.seq
+	r.rings[e.Node].add(e, r.limit)
+}
+
+// Len reports the number of retained events across all nodes.
+func (r *Recorder) Len() int {
+	n := 0
+	for i := range r.rings {
+		n += len(r.rings[i].buf)
+	}
+	return n
+}
+
+// Dropped reports how many events the per-node bound discarded.
+func (r *Recorder) Dropped() uint64 {
+	var n uint64
+	for i := range r.rings {
+		n += r.rings[i].dropped
+	}
+	return n
+}
+
+// NodeEvents returns node n's retained events in emission order.
+func (r *Recorder) NodeEvents(n int) []Event {
+	return append([]Event(nil), r.rings[n].events()...)
+}
+
+// Events returns every retained event merged across nodes, ordered by
+// (timestamp, sequence). The sequence tiebreak makes the order total and
+// deterministic: same run, same slice.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	for i := range r.rings {
+		out = append(out, r.rings[i].events()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
