@@ -29,7 +29,7 @@ golden-trace:
 ## bench-smoke: run each benchmark exactly once. Catches benchmarks that
 ## panic or assert-fail without paying for stable timings.
 bench-smoke:
-	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/core ./internal/memsim ./internal/sim ./internal/harness
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 ## perf-baseline: regenerate BENCH_harness.json (compare before committing
 ## changes to the diff/memsim/harness hot paths).

@@ -21,9 +21,27 @@ func (a F64Array) Get(w *Worker, i int) float64 { return w.ReadF64(a.At(i)) }
 func (a F64Array) Set(w *Worker, i int, v float64) { w.WriteF64(a.At(i), v) }
 
 // Add adds v to element i through w (a read-modify-write; guard with a
-// lock or partition ownership when threads share elements).
+// lock or partition ownership when threads share elements). The access
+// check runs once for the fused load/store pair.
 func (a F64Array) Add(w *Worker, i int, v float64) {
-	w.WriteF64(a.At(i), w.ReadF64(a.At(i))+v)
+	w.AddF64(a.At(i), v)
+}
+
+// GetRange reads elements [i, i+len(dst)) into dst with per-page batched
+// access checks (see Worker.ReadRangeF64).
+func (a F64Array) GetRange(w *Worker, i int, dst []float64) {
+	w.ReadRangeF64(a.At(i), dst)
+}
+
+// SetRange writes src to elements [i, i+len(src)) with per-page batched
+// access checks.
+func (a F64Array) SetRange(w *Worker, i int, src []float64) {
+	w.WriteRangeF64(a.At(i), src)
+}
+
+// Fill writes v to elements [i, i+n).
+func (a F64Array) Fill(w *Worker, i, n int, v float64) {
+	w.FillF64(a.At(i), n, v)
 }
 
 // I64Array is a shared array of int64 values.
@@ -45,6 +63,18 @@ func (a I64Array) Get(w *Worker, i int) int64 { return w.ReadI64(a.At(i)) }
 
 // Set writes element i through w.
 func (a I64Array) Set(w *Worker, i int, v int64) { w.WriteI64(a.At(i), v) }
+
+// GetRange reads elements [i, i+len(dst)) into dst with per-page batched
+// access checks.
+func (a I64Array) GetRange(w *Worker, i int, dst []int64) {
+	w.ReadRangeI64(a.At(i), dst)
+}
+
+// SetRange writes src to elements [i, i+len(src)) with per-page batched
+// access checks.
+func (a I64Array) SetRange(w *Worker, i int, src []int64) {
+	w.WriteRangeI64(a.At(i), src)
+}
 
 // F64Matrix is a shared row-major matrix of float64 values. Stride is the
 // row stride in elements; when rows are page-padded, Stride exceeds Cols
@@ -82,3 +112,25 @@ func (m F64Matrix) Get(w *Worker, r, c int) float64 { return w.ReadF64(m.At(r, c
 
 // Set writes element (r, c) through w.
 func (m F64Matrix) Set(w *Worker, r, c int, v float64) { w.WriteF64(m.At(r, c), v) }
+
+// Row reads row r's Cols elements into dst with per-page batched access
+// checks. dst must hold at least Cols elements.
+func (m F64Matrix) Row(w *Worker, r int, dst []float64) {
+	w.ReadRangeF64(m.At(r, 0), dst[:m.Cols])
+}
+
+// SetRow writes src (Cols elements) to row r with per-page batched access
+// checks.
+func (m F64Matrix) SetRow(w *Worker, r int, src []float64) {
+	w.WriteRangeF64(m.At(r, 0), src[:m.Cols])
+}
+
+// RowRange reads columns [c, c+len(dst)) of row r into dst.
+func (m F64Matrix) RowRange(w *Worker, r, c int, dst []float64) {
+	w.ReadRangeF64(m.At(r, c), dst)
+}
+
+// SetRowRange writes src to columns [c, c+len(src)) of row r.
+func (m F64Matrix) SetRowRange(w *Worker, r, c int, src []float64) {
+	w.WriteRangeF64(m.At(r, c), src)
+}

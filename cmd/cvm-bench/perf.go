@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"cvm"
 	"cvm/internal/apps"
 	"cvm/internal/core"
 	"cvm/internal/harness"
@@ -95,6 +96,14 @@ func runPerf(out io.Writer, size apps.Size, workers int, jsonPath string, progre
 		micro("MakeDiff/clean", benchMakeDiff(cleanPage)),
 		micro("DiffApply", benchDiffApply()),
 		micro("MemsimSweep", benchMemsimSweep()),
+		micro("ReadRange/scalar", benchSpanRead(false)),
+		micro("ReadRange/span", benchSpanRead(true)),
+		micro("WriteRange/scalar", benchSpanWrite(false)),
+		micro("WriteRange/span", benchSpanWrite(true)),
+		micro("SpanSweep/scalar", benchSpanSweep(false)),
+		micro("SpanSweep/span", benchSpanSweep(true)),
+		micro("SpanSORRow/scalar", benchSpanSORRow(false)),
+		micro("SpanSORRow/span", benchSpanSORRow(true)),
 	)
 
 	f, err := os.Create(jsonPath)
@@ -195,6 +204,150 @@ func benchMemsimSweep() testing.BenchmarkResult {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sys.Access(uint64(i%(1<<20)) * 8)
+		}
+	})
+}
+
+// Span-accessor micros: the same simulated sweep in elementwise and
+// page-span form, so the baseline records the access-check amortization
+// factor the bulk accessors buy (same charges, fewer host instructions).
+const (
+	spanBenchRows = 64
+	spanBenchCols = 1024 // two 4 KiB pages per row
+)
+
+func spanBenchMatrix(b *testing.B) (*cvm.Cluster, cvm.F64Matrix) {
+	b.Helper()
+	cluster, err := cvm.New(cvm.DefaultConfig(1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cluster, cluster.MustAllocF64Matrix("bench.m", spanBenchRows, spanBenchCols, false)
+}
+
+// benchSpanRead is a pure read sweep over the whole matrix.
+func benchSpanRead(span bool) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cluster, m := spanBenchMatrix(b)
+			if _, err := cluster.Run(func(w *cvm.Worker) {
+				sum := 0.0
+				if !span {
+					for r := 0; r < spanBenchRows; r++ {
+						for j := 0; j < spanBenchCols; j++ {
+							sum += m.Get(w, r, j)
+						}
+					}
+					return
+				}
+				row := make([]float64, spanBenchCols)
+				for r := 0; r < spanBenchRows; r++ {
+					m.Row(w, r, row)
+					for _, v := range row {
+						sum += v
+					}
+				}
+				_ = sum
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchSpanWrite is a pure write sweep over the whole matrix.
+func benchSpanWrite(span bool) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cluster, m := spanBenchMatrix(b)
+			if _, err := cluster.Run(func(w *cvm.Worker) {
+				if !span {
+					for r := 0; r < spanBenchRows; r++ {
+						for j := 0; j < spanBenchCols; j++ {
+							m.Set(w, r, j, float64(r+j))
+						}
+					}
+					return
+				}
+				row := make([]float64, spanBenchCols)
+				for r := 0; r < spanBenchRows; r++ {
+					for j := range row {
+						row[j] = float64(r + j)
+					}
+					m.SetRow(w, r, row)
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchSpanSweep is a read-modify-write sweep over the whole matrix.
+func benchSpanSweep(span bool) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cluster, m := spanBenchMatrix(b)
+			if _, err := cluster.Run(func(w *cvm.Worker) {
+				if !span {
+					for r := 0; r < spanBenchRows; r++ {
+						for j := 0; j < spanBenchCols; j++ {
+							m.Set(w, r, j, m.Get(w, r, j)+1)
+						}
+					}
+					return
+				}
+				row := make([]float64, spanBenchCols)
+				for r := 0; r < spanBenchRows; r++ {
+					m.Row(w, r, row)
+					for j := range row {
+						row[j]++
+					}
+					m.SetRow(w, r, row)
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchSpanSORRow is the SOR five-point red-black row kernel.
+func benchSpanSORRow(span bool) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cluster, m := spanBenchMatrix(b)
+			if _, err := cluster.Run(func(w *cvm.Worker) {
+				if !span {
+					for r := 1; r < spanBenchRows-1; r++ {
+						for j := 1 + r%2; j < spanBenchCols-1; j += 2 {
+							v := 0.25 * (m.Get(w, r-1, j) + m.Get(w, r+1, j) +
+								m.Get(w, r, j-1) + m.Get(w, r, j+1))
+							m.Set(w, r, j, v)
+						}
+					}
+					return
+				}
+				top := make([]float64, spanBenchCols)
+				cur := make([]float64, spanBenchCols)
+				bot := make([]float64, spanBenchCols)
+				m.Row(w, 0, top)
+				m.Row(w, 1, cur)
+				for r := 1; r < spanBenchRows-1; r++ {
+					m.Row(w, r+1, bot)
+					for j := 1 + r%2; j < spanBenchCols-1; j += 2 {
+						cur[j] = 0.25 * (top[j] + bot[j] + cur[j-1] + cur[j+1])
+					}
+					m.SetRow(w, r, cur)
+					top, cur, bot = cur, bot, top
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -101,11 +101,12 @@ func (b *Barnes) Setup(c *cvm.Cluster) error {
 // Main implements App.
 func (b *Barnes) Main(w *cvm.Worker) {
 	if w.GlobalID() == 0 {
+		var xy [2]float64
 		for i := 0; i < b.bodies; i++ {
-			b.pos.Set(w, i, 0, b.initX[i])
-			b.pos.Set(w, i, 1, b.initY[i])
-			b.mass.Set(w, i, b.initM[i])
+			xy[0], xy[1] = b.initX[i], b.initY[i]
+			b.pos.SetRow(w, i, xy[:])
 		}
+		b.mass.SetRange(w, 0, b.initM)
 	}
 	w.Barrier(0)
 	if w.GlobalID() == 0 {
@@ -118,74 +119,111 @@ func (b *Barnes) Main(w *cvm.Worker) {
 	cLo, cHi := chunkOf(cells, w.Threads(), w.GlobalID())
 	bar := 10
 
+	// Span scratch: each cell's bodies are a contiguous block of the pos
+	// matrix and mass array, the cell-summary matrix is one contiguous
+	// region every thread re-reads per body, and the owned body range is a
+	// contiguous block of pos and vel — all page-granular spans.
+	maxPer := 0
+	for c := 0; c < cells; c++ {
+		if n := b.starts[c+1] - b.starts[c]; n > maxPer {
+			maxPer = n
+		}
+	}
+	mbuf := make([]float64, maxPer)
+	pbuf := make([]float64, 2*maxPer)
+	cellBuf := make([]float64, 3*cells)
+	posBlk := make([]float64, 2*(bHi-bLo))
+	velBlk := make([]float64, 2*(bHi-bLo))
+	var c3 [3]float64
+	var xy, v2 [2]float64
+
 	for it := 0; it < b.iters; it++ {
 		// Build phase: summarize owned cells (partitioned writes).
 		w.Phase(1)
 		for c := cLo; c < cHi; c++ {
+			cnt := b.starts[c+1] - b.starts[c]
 			var m, mx, my float64
-			for i := b.starts[c]; i < b.starts[c+1]; i++ {
-				bm := b.mass.Get(w, i)
-				m += bm
-				mx += bm * b.pos.Get(w, i, 0)
-				my += bm * b.pos.Get(w, i, 1)
+			if cnt > 0 {
+				b.mass.GetRange(w, b.starts[c], mbuf[:cnt])
+				w.ReadRangeF64(b.pos.At(b.starts[c], 0), pbuf[:2*cnt])
+				for k := 0; k < cnt; k++ {
+					bm := mbuf[k]
+					m += bm
+					mx += bm * pbuf[2*k]
+					my += bm * pbuf[2*k+1]
+				}
 			}
-			b.cell.Set(w, c, 0, m)
+			c3[0] = m
 			if m > 0 {
-				b.cell.Set(w, c, 1, mx/m)
-				b.cell.Set(w, c, 2, my/m)
+				c3[1], c3[2] = mx/m, my/m
 			} else {
-				b.cell.Set(w, c, 1, 0)
-				b.cell.Set(w, c, 2, 0)
+				c3[1], c3[2] = 0, 0
 			}
+			b.cell.SetRow(w, c, c3[:])
 		}
 		w.Barrier(bar)
 		bar++
 
 		// Force phase: every thread reads every cell summary plus the
-		// exact bodies of its own cell, then integrates its bodies.
+		// exact bodies of its own cell, then integrates its bodies. The
+		// summary matrix is re-read per body — as one whole-matrix span,
+		// matching the scalar all-to-all read sharing per page.
 		w.Phase(2)
 		for i := bLo; i < bHi; i++ {
-			xi, yi := b.pos.Get(w, i, 0), b.pos.Get(w, i, 1)
+			b.pos.Row(w, i, xy[:])
+			xi, yi := xy[0], xy[1]
 			var fx, fy float64
 			my := b.cellOf[i]
+			w.ReadRangeF64(b.cell.At(0, 0), cellBuf)
 			for c := 0; c < cells; c++ {
 				if c == my {
 					continue
 				}
-				m := b.cell.Get(w, c, 0)
+				m := cellBuf[3*c]
 				if m == 0 {
 					continue
 				}
-				dx := b.cell.Get(w, c, 1) - xi
-				dy := b.cell.Get(w, c, 2) - yi
+				dx := cellBuf[3*c+1] - xi
+				dy := cellBuf[3*c+2] - yi
 				inv := 1 / math.Sqrt(dx*dx+dy*dy+1e-3)
 				f := m * inv * inv * inv
 				fx += f * dx
 				fy += f * dy
 			}
-			for j := b.starts[my]; j < b.starts[my+1]; j++ {
-				if j == i {
+			cnt := b.starts[my+1] - b.starts[my]
+			b.mass.GetRange(w, b.starts[my], mbuf[:cnt])
+			w.ReadRangeF64(b.pos.At(b.starts[my], 0), pbuf[:2*cnt])
+			for k := 0; k < cnt; k++ {
+				if b.starts[my]+k == i {
 					continue
 				}
-				dx := b.pos.Get(w, j, 0) - xi
-				dy := b.pos.Get(w, j, 1) - yi
+				dx := pbuf[2*k] - xi
+				dy := pbuf[2*k+1] - yi
 				inv := 1 / math.Sqrt(dx*dx+dy*dy+1e-3)
-				f := b.mass.Get(w, j) * inv * inv * inv
+				f := mbuf[k] * inv * inv * inv
 				fx += f * dx
 				fy += f * dy
 			}
-			w.Compute(cvm.Time(cells+b.starts[my+1]-b.starts[my]) * 30)
-			b.vel.Set(w, i, 0, b.vel.Get(w, i, 0)+1e-5*fx)
-			b.vel.Set(w, i, 1, b.vel.Get(w, i, 1)+1e-5*fy)
+			w.Compute(cvm.Time(cells+cnt) * 30)
+			b.vel.Row(w, i, v2[:])
+			v2[0] += 1e-5 * fx
+			v2[1] += 1e-5 * fy
+			b.vel.SetRow(w, i, v2[:])
 		}
 		w.Barrier(bar)
 		bar++
 
-		// Integrate positions of owned bodies.
+		// Integrate positions of owned bodies: the owned range is one
+		// contiguous block of each matrix, so the whole update is two
+		// read spans and one write span.
 		w.Phase(3)
-		for i := bLo; i < bHi; i++ {
-			b.pos.Set(w, i, 0, b.pos.Get(w, i, 0)+b.vel.Get(w, i, 0))
-			b.pos.Set(w, i, 1, b.pos.Get(w, i, 1)+b.vel.Get(w, i, 1))
+		if bHi > bLo {
+			w.ReadRangeF64(b.pos.At(bLo, 0), posBlk)
+			w.ReadRangeF64(b.vel.At(bLo, 0), velBlk)
+			for k := range posBlk {
+				posBlk[k] += velBlk[k]
+			}
+			w.WriteRangeF64(b.pos.At(bLo, 0), posBlk)
 		}
 		w.Barrier(bar)
 		bar++
@@ -194,7 +232,8 @@ func (b *Barnes) Main(w *cvm.Worker) {
 	if w.GlobalID() == 0 {
 		sum := 0.0
 		for i := 0; i < b.bodies; i++ {
-			sum += b.pos.Get(w, i, 0) + b.pos.Get(w, i, 1)
+			b.pos.Row(w, i, xy[:])
+			sum += xy[0] + xy[1]
 		}
 		b.checksum = sum
 	}

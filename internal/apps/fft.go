@@ -64,11 +64,13 @@ func (f *FFT) Setup(c *cvm.Cluster) error {
 func (f *FFT) Main(w *cvm.Worker) {
 	if w.GlobalID() == 0 {
 		r := lcg(7)
+		row := make([]float64, 2*f.m)
 		for i := 0; i < f.m; i++ {
 			for j := 0; j < f.m; j++ {
-				f.a.Set(w, i, 2*j, r.next()-0.5)
-				f.a.Set(w, i, 2*j+1, 0)
+				row[2*j] = r.next() - 0.5
+				row[2*j+1] = 0
 			}
+			f.a.SetRow(w, i, row)
 		}
 	}
 	w.Barrier(0)
@@ -80,40 +82,47 @@ func (f *FFT) Main(w *cvm.Worker) {
 	lo, hi := chunkOf(f.m, w.Threads(), w.GlobalID())
 	re := make([]float64, f.m)
 	im := make([]float64, f.m)
+	row := make([]float64, 2*f.m)
 	bar := 10
+
+	// transpose writes dst rows from src columns: the column reads stay
+	// scalar-granular (each row contributes one re/im pair — the scatter
+	// that makes the transpose the communication phase), but the pair is
+	// one small span and the assembled destination row is written back as
+	// one span per page.
+	transpose := func(dst, src cvm.F64Matrix) {
+		var pair [2]float64
+		for i := lo; i < hi; i++ {
+			for j := 0; j < f.m; j++ {
+				src.RowRange(w, j, 2*i, pair[:])
+				row[2*j], row[2*j+1] = pair[0], pair[1]
+			}
+			dst.SetRow(w, i, row)
+		}
+	}
 
 	for it := 0; it < f.iters; it++ {
 		// Row FFTs on A.
 		w.Phase(1)
-		f.fftRows(w, f.a, lo, hi, re, im)
+		f.fftRows(w, f.a, lo, hi, re, im, row)
 		w.Barrier(bar)
 		bar++
 
 		// Transpose A into B: reads scatter across all nodes' rows.
 		w.Phase(2)
-		for i := lo; i < hi; i++ {
-			for j := 0; j < f.m; j++ {
-				f.b.Set(w, i, 2*j, f.a.Get(w, j, 2*i))
-				f.b.Set(w, i, 2*j+1, f.a.Get(w, j, 2*i+1))
-			}
-		}
+		transpose(f.b, f.a)
 		w.Barrier(bar)
 		bar++
 
 		// Row FFTs on B (columns of the original matrix).
 		w.Phase(1)
-		f.fftRows(w, f.b, lo, hi, re, im)
+		f.fftRows(w, f.b, lo, hi, re, im, row)
 		w.Barrier(bar)
 		bar++
 
 		// Transpose back into A.
 		w.Phase(2)
-		for i := lo; i < hi; i++ {
-			for j := 0; j < f.m; j++ {
-				f.a.Set(w, i, 2*j, f.b.Get(w, j, 2*i))
-				f.a.Set(w, i, 2*j+1, f.b.Get(w, j, 2*i+1))
-			}
-		}
+		transpose(f.a, f.b)
 		w.Barrier(bar)
 		bar++
 	}
@@ -129,26 +138,29 @@ func (f *FFT) Main(w *cvm.Worker) {
 	w.Barrier(9999)
 }
 
-// fftRows transforms rows [lo, hi): each row is read into private
-// buffers, transformed (the n·log n arithmetic charged as computation),
-// and written back.
-func (f *FFT) fftRows(w *cvm.Worker, mat cvm.F64Matrix, lo, hi int, re, im []float64) {
+// fftRows transforms rows [lo, hi): each row is read as page-granular
+// spans into private buffers, transformed (the n·log n arithmetic charged
+// as computation), and written back as spans. row is a 2*m scratch buffer
+// for the interleaved re/im layout.
+func (f *FFT) fftRows(w *cvm.Worker, mat cvm.F64Matrix, lo, hi int, re, im, row []float64) {
 	logM := 0
 	for 1<<logM < f.m {
 		logM++
 	}
 	for i := lo; i < hi; i++ {
+		mat.Row(w, i, row)
 		for j := 0; j < f.m; j++ {
-			re[j] = mat.Get(w, i, 2*j)
-			im[j] = mat.Get(w, i, 2*j+1)
+			re[j] = row[2*j]
+			im[j] = row[2*j+1]
 		}
 		fft1d(re, im)
 		// ~12 flops per butterfly at 275 MHz ≈ 45 ns each.
 		w.Compute(cvm.Time(f.m*logM) * 45)
 		for j := 0; j < f.m; j++ {
-			mat.Set(w, i, 2*j, re[j])
-			mat.Set(w, i, 2*j+1, im[j])
+			row[2*j] = re[j]
+			row[2*j+1] = im[j]
 		}
+		mat.SetRow(w, i, row)
 	}
 }
 

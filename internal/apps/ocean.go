@@ -72,19 +72,20 @@ func (o *Ocean) Main(w *cvm.Worker) {
 	n := o.n
 	if w.GlobalID() == 0 {
 		r := lcg(31)
+		urow := make([]float64, n)
+		brow := make([]float64, n)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
-				o.u.Set(w, i, j, oceanInit(&r, i, j, n))
-				o.b.Set(w, i, j, 0.01*r.next())
-				o.r.Set(w, i, j, 0)
-				o.psi.Set(w, i, j, 0)
+				urow[j] = oceanInit(&r, i, j, n)
+				brow[j] = 0.01 * r.next()
 			}
+			o.u.SetRow(w, i, urow)
+			o.b.SetRow(w, i, brow)
 		}
-		for i := 0; i < n/2; i++ {
-			for j := 0; j < n/2; j++ {
-				o.coarse.Set(w, i, j, 0)
-			}
-		}
+		// Un-padded rows are contiguous, so each grid zeroes as one fill.
+		w.FillF64(o.r.At(0, 0), n*n, 0)
+		w.FillF64(o.psi.At(0, 0), n*n, 0)
+		w.FillF64(o.coarse.At(0, 0), (n/2)*(n/2), 0)
 	}
 	w.Barrier(0)
 	if w.GlobalID() == 0 {
@@ -119,6 +120,14 @@ func (o *Ocean) Main(w *cvm.Worker) {
 	cLo, cHi = cLo+1, cHi+1
 	bar := 10
 
+	// Span scratch rows for the contiguous sweeps (phases 3, 4 and 7);
+	// the red-black phases keep the scalar stride-2 access pattern.
+	rowUp := make([]float64, n)
+	rowDn := make([]float64, n)
+	rowC := make([]float64, n)
+	rowB := make([]float64, n)
+	rowW := make([]float64, n)
+
 	for it := 0; it < o.iters; it++ {
 		// Red-black relaxation of u against the source term b.
 		for color := 0; color < 2; color++ {
@@ -140,17 +149,29 @@ func (o *Ocean) Main(w *cvm.Worker) {
 
 		// Residual grid: r = stencil(u) - b, plus the scalar residual
 		// norm aggregated per node behind a local barrier (the `r`
-		// modification) and published under the global lock.
+		// modification) and published under the global lock. The full-j
+		// sweep is contiguous, so the stencil's source rows are read as
+		// page-granular spans and the residual row is written as one.
 		w.Phase(3)
 		local := 0.0
+		wj := jHi - jLo
 		forRows(func(i int) {
-			for j := jLo; j < jHi; j++ {
-				d := o.u.Get(w, i, j) - 0.25*(o.u.Get(w, i-1, j)+
-					o.u.Get(w, i+1, j)+o.u.Get(w, i, j-1)+o.u.Get(w, i, j+1)-
-					o.b.Get(w, i, j))
-				o.r.Set(w, i, j, d)
+			if wj <= 0 {
+				return
+			}
+			um, up := rowUp[:wj], rowDn[:wj]
+			uc := rowC[:wj+2]
+			bc, rc := rowB[:wj], rowW[:wj]
+			o.u.RowRange(w, i-1, jLo, um)
+			o.u.RowRange(w, i+1, jLo, up)
+			o.u.RowRange(w, i, jLo-1, uc)
+			o.b.RowRange(w, i, jLo, bc)
+			for k := 0; k < wj; k++ {
+				d := uc[k+1] - 0.25*(um[k]+up[k]+uc[k]+uc[k+2]-bc[k])
+				rc[k] = d
 				local += d * d
 			}
+			o.r.SetRowRange(w, i, jLo, rc)
 		})
 		o.nodeResid[w.NodeID()] += local
 		o.nodeCnt[w.NodeID()]++
@@ -167,14 +188,21 @@ func (o *Ocean) Main(w *cvm.Worker) {
 		bar++
 
 		// Restrict the residual to the coarse grid and relax there
-		// (single colour: order-independent).
+		// (single colour: order-independent). Each coarse cell reads a
+		// 2×2 fine block; across the j sweep those blocks tile two
+		// contiguous fine rows, read as spans.
 		w.Phase(4)
 		for i := cLo; i < cHi; i++ {
+			fw := 2 * (cn - 2)
+			ra, rb := rowUp[:fw], rowDn[:fw]
+			o.r.RowRange(w, 2*i, 2, ra)
+			o.r.RowRange(w, 2*i+1, 2, rb)
+			cw := rowW[:cn-2]
 			for j := 1; j < cn-1; j++ {
-				o.coarse.Set(w, i, j, 0.25*(o.r.Get(w, 2*i, 2*j)+
-					o.r.Get(w, 2*i+1, 2*j)+o.r.Get(w, 2*i, 2*j+1)+
-					o.r.Get(w, 2*i+1, 2*j+1)))
+				k := 2 * (j - 1)
+				cw[j-1] = 0.25 * (ra[k] + rb[k] + ra[k+1] + rb[k+1])
 			}
+			o.coarse.SetRowRange(w, i, 1, cw)
 		}
 		w.Barrier(bar)
 		bar++
@@ -213,13 +241,20 @@ func (o *Ocean) Main(w *cvm.Worker) {
 		bar++
 
 		// Integrate the stream-function grid from u (a second full-grid
-		// sweep, reading across the partition boundary).
+		// sweep, reading across the partition boundary), span per row.
 		w.Phase(7)
 		forRows(func(i int) {
-			for j := jLo; j < jHi; j++ {
-				o.psi.Set(w, i, j, 0.9*o.psi.Get(w, i, j)+
-					0.1*(o.u.Get(w, i, j)-o.u.Get(w, i-1, j)))
+			if wj <= 0 {
+				return
 			}
+			pc, uc, um := rowW[:wj], rowC[:wj], rowUp[:wj]
+			o.psi.RowRange(w, i, jLo, pc)
+			o.u.RowRange(w, i, jLo, uc)
+			o.u.RowRange(w, i-1, jLo, um)
+			for k := 0; k < wj; k++ {
+				pc[k] = 0.9*pc[k] + 0.1*(uc[k]-um[k])
+			}
+			o.psi.SetRowRange(w, i, jLo, pc)
 		})
 		w.Barrier(bar)
 		bar++
@@ -229,8 +264,10 @@ func (o *Ocean) Main(w *cvm.Worker) {
 		w.Phase(8)
 		sum := o.resid.Get(w, 0)
 		for i := 0; i < n; i++ {
+			o.u.Row(w, i, rowUp)
+			o.psi.Row(w, i, rowDn)
 			for j := 0; j < n; j += 3 {
-				sum += o.u.Get(w, i, j) + o.psi.Get(w, i, j)
+				sum += rowUp[j] + rowDn[j]
 			}
 		}
 		o.checksum = sum

@@ -135,15 +135,17 @@ const (
 // Main implements App.
 func (a *WaterNsq) Main(w *cvm.Worker) {
 	if w.GlobalID() == 0 {
+		rec := make([]float64, molStride)
 		for i := 0; i < a.n; i++ {
 			for d := 0; d < 3; d++ {
-				a.mol.Set(w, i, fPos+d, a.initPos[3*i+d])
-				a.mol.Set(w, i, fVel+d, 0)
-				a.mol.Set(w, i, fForce+d, 0)
+				rec[fPos+d] = a.initPos[3*i+d]
+				rec[fVel+d] = 0
+				rec[fForce+d] = 0
 			}
 			for d := fTail; d < molStride; d++ {
-				a.mol.Set(w, i, d, 1)
+				rec[d] = 1
 			}
+			a.mol.SetRow(w, i, rec)
 		}
 		a.epot.Set(w, 0, 0)
 	}
@@ -156,15 +158,22 @@ func (a *WaterNsq) Main(w *cvm.Worker) {
 	lo, hi := chunkOf(a.n, w.Threads(), w.GlobalID())
 	contrib := make([]float64, 3*a.n)
 	touched := make([]bool, a.n)
+	// Span scratch over a molecule record's contiguous fields.
+	var posVel [6]float64
+	var f3 [3]float64
 	bar := 10
 
 	for it := 0; it < a.iters; it++ {
-		// Predict: integrate positions of owned molecules.
+		// Predict: integrate positions of owned molecules. Each record's
+		// position and velocity fields are adjacent, so the update is one
+		// 6-element read span and one 3-element write span.
 		w.Phase(1)
 		for i := lo; i < hi; i++ {
+			a.mol.RowRange(w, i, fPos, posVel[:])
 			for d := 0; d < 3; d++ {
-				a.mol.Set(w, i, fPos+d, a.mol.Get(w, i, fPos+d)+0.01*a.mol.Get(w, i, fVel+d))
+				posVel[d] += 0.01 * posVel[fVel+d]
 			}
+			a.mol.SetRowRange(w, i, fPos, posVel[:3])
 		}
 		w.Barrier(bar)
 		bar++
@@ -180,17 +189,19 @@ func (a *WaterNsq) Main(w *cvm.Worker) {
 		}
 		localEpot := 0.0
 		forEachOwned(lo, hi, a.readDescending(w), func(i int) {
-			xi := [3]float64{a.mol.Get(w, i, fPos), a.mol.Get(w, i, fPos+1), a.mol.Get(w, i, fPos+2)}
+			var xi, xj [3]float64
+			a.mol.RowRange(w, i, fPos, xi[:])
 			half := a.n / 2
 			for k := 1; k <= half; k++ {
 				j := i + k
 				if j >= a.n {
 					break
 				}
+				a.mol.RowRange(w, j, fPos, xj[:])
 				var dx [3]float64
 				r2 := 0.1
 				for d := 0; d < 3; d++ {
-					dx[d] = xi[d] - a.mol.Get(w, j, fPos+d)
+					dx[d] = xi[d] - xj[d]
 					r2 += dx[d] * dx[d]
 				}
 				inv := 1 / r2
@@ -218,13 +229,15 @@ func (a *WaterNsq) Main(w *cvm.Worker) {
 					continue
 				}
 				w.Lock(molLock(m))
+				a.mol.RowRange(w, m, fForce, f3[:])
 				for d := 0; d < 3; d++ {
-					a.mol.Set(w, m, fForce+d, a.mol.Get(w, m, fForce+d)+contrib[3*m+d])
+					f3[d] += contrib[3*m+d]
 				}
+				a.mol.SetRowRange(w, m, fForce, f3[:])
 				w.Unlock(molLock(m))
 			}
 			w.Lock(0)
-			a.epot.Set(w, 0, a.epot.Get(w, 0)+localEpot)
+			a.epot.Add(w, 0, localEpot)
 			w.Unlock(0)
 
 		default:
@@ -251,15 +264,17 @@ func (a *WaterNsq) Main(w *cvm.Worker) {
 					continue
 				}
 				w.Lock(molLock(m))
+				a.mol.RowRange(w, m, fForce, f3[:])
 				for d := 0; d < 3; d++ {
-					a.mol.Set(w, m, fForce+d, a.mol.Get(w, m, fForce+d)+nf[3*m+d])
+					f3[d] += nf[3*m+d]
 					nf[3*m+d] = 0
 				}
+				a.mol.SetRowRange(w, m, fForce, f3[:])
 				w.Unlock(molLock(m))
 			}
 			if w.LocalID() == 0 {
 				w.Lock(0)
-				a.epot.Set(w, 0, a.epot.Get(w, 0)+a.nodeEpot[w.NodeID()])
+				a.epot.Add(w, 0, a.nodeEpot[w.NodeID()])
 				w.Unlock(0)
 				a.nodeEpot[w.NodeID()] = 0
 			}
@@ -267,13 +282,17 @@ func (a *WaterNsq) Main(w *cvm.Worker) {
 		w.Barrier(bar)
 		bar++
 
-		// Correct: apply forces to owned molecules and clear them.
+		// Correct: apply forces to owned molecules and clear them. The
+		// velocity and force fields are adjacent, so the update is one
+		// 6-element read span and one 6-element write span per record.
 		w.Phase(4)
 		for i := lo; i < hi; i++ {
+			a.mol.RowRange(w, i, fVel, posVel[:])
 			for d := 0; d < 3; d++ {
-				a.mol.Set(w, i, fVel+d, a.mol.Get(w, i, fVel+d)+1e-4*a.mol.Get(w, i, fForce+d))
-				a.mol.Set(w, i, fForce+d, 0)
+				posVel[d] += 1e-4 * posVel[3+d]
+				posVel[3+d] = 0
 			}
+			a.mol.SetRowRange(w, i, fVel, posVel[:])
 			// Predictor-corrector bookkeeping: touch the record tail.
 			a.mol.Set(w, i, fTail+(it%4), float64(it+1))
 		}
@@ -284,8 +303,9 @@ func (a *WaterNsq) Main(w *cvm.Worker) {
 	if w.GlobalID() == 0 {
 		sum := a.epot.Get(w, 0)
 		for i := 0; i < a.n; i++ {
+			a.mol.RowRange(w, i, fPos, posVel[:])
 			for d := 0; d < 3; d++ {
-				sum += a.mol.Get(w, i, fPos+d) + 100*a.mol.Get(w, i, fVel+d)
+				sum += posVel[d] + 100*posVel[fVel+d]
 			}
 		}
 		a.checksum = sum

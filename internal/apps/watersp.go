@@ -75,6 +75,17 @@ func (a *WaterSp) set(w *cvm.Worker, i, f int, v float64) {
 	a.mol.Set(w, a.slot[i], f, v)
 }
 
+// getSpan and setSpan access the contiguous fields [f, f+len) of molecule
+// i's record as one span: the records scatter across pages, but fields
+// within a record are adjacent, so each record costs one access check.
+func (a *WaterSp) getSpan(w *cvm.Worker, i, f int, dst []float64) {
+	a.mol.RowRange(w, a.slot[i], f, dst)
+}
+
+func (a *WaterSp) setSpan(w *cvm.Worker, i, f int, src []float64) {
+	a.mol.SetRowRange(w, a.slot[i], f, src)
+}
+
 // Name implements App.
 func (a *WaterSp) Name() string { return "watersp" }
 
@@ -158,14 +169,16 @@ func (a *WaterSp) neighborCells(cell int) []int {
 func (a *WaterSp) Main(w *cvm.Worker) {
 	n := a.molecules()
 	if w.GlobalID() == 0 {
+		rec := make([]float64, molStride)
+		for d := fAux; d < molStride; d++ {
+			rec[d] = 1
+		}
 		for i := 0; i < n; i++ {
 			for d := 0; d < 3; d++ {
-				a.set(w, i, fPos+d, a.initPos[3*i+d])
-				a.set(w, i, fVel+d, 0)
+				rec[fPos+d] = a.initPos[3*i+d]
+				rec[fVel+d] = 0
 			}
-			for d := fAux; d < molStride; d++ {
-				a.set(w, i, d, 1)
-			}
+			a.setSpan(w, i, 0, rec)
 		}
 		a.epot.Set(w, 0, 0)
 	}
@@ -184,11 +197,12 @@ func (a *WaterSp) Main(w *cvm.Worker) {
 		// each cross-cell pair compute it, so writes stay local.
 		w.Phase(1)
 		localEpot := 0.0
+		var xi, xj, v3 [3]float64
 		for cell := cLo; cell < cHi; cell++ {
 			neigh := a.neighborCells(cell)
 			for m := 0; m < a.perC; m++ {
 				i := cell*a.perC + m
-				xi := [3]float64{a.get(w, i, fPos), a.get(w, i, fPos+1), a.get(w, i, fPos+2)}
+				a.getSpan(w, i, fPos, xi[:])
 				var f [3]float64
 				pairs := 0
 				for _, nc := range neigh {
@@ -197,10 +211,11 @@ func (a *WaterSp) Main(w *cvm.Worker) {
 						if j == i {
 							continue
 						}
+						a.getSpan(w, j, fPos, xj[:])
 						var dx [3]float64
 						r2 := 0.1
 						for d := 0; d < 3; d++ {
-							dx[d] = xi[d] - a.get(w, j, fPos+d)
+							dx[d] = xi[d] - xj[d]
 							r2 += dx[d] * dx[d]
 						}
 						inv := 1 / r2
@@ -215,9 +230,11 @@ func (a *WaterSp) Main(w *cvm.Worker) {
 					}
 				}
 				w.Compute(cvm.Time(pairs) * 20)
+				a.getSpan(w, i, fVel, v3[:])
 				for d := 0; d < 3; d++ {
-					a.set(w, i, fVel+d, a.get(w, i, fVel+d)+1e-4*f[d])
+					v3[d] += 1e-4 * f[d]
 				}
+				a.setSpan(w, i, fVel, v3[:])
 			}
 		}
 
@@ -230,21 +247,25 @@ func (a *WaterSp) Main(w *cvm.Worker) {
 			a.nodeEpot[w.NodeID()] = 0
 			a.nodeCnt[w.NodeID()] = 0
 			w.Lock(0)
-			a.epot.Set(w, 0, a.epot.Get(w, 0)+sum)
+			a.epot.Add(w, 0, sum)
 			w.Unlock(0)
 		}
 		w.Barrier(bar)
 		bar++
 
 		// Integrate positions of owned molecules (bounded so cell
-		// assignment stays valid).
+		// assignment stays valid): one 6-element read span over the
+		// adjacent position and velocity fields, one 3-element write back.
 		w.Phase(2)
+		var pv [6]float64
 		for cell := cLo; cell < cHi; cell++ {
 			for m := 0; m < a.perC; m++ {
 				i := cell*a.perC + m
+				a.getSpan(w, i, fPos, pv[:])
 				for d := 0; d < 3; d++ {
-					a.set(w, i, fPos+d, a.get(w, i, fPos+d)+1e-3*a.get(w, i, fVel+d))
+					pv[d] += 1e-3 * pv[fVel+d]
 				}
+				a.setSpan(w, i, fPos, pv[:3])
 				// Predictor-corrector bookkeeping: touch the record tail.
 				a.set(w, i, fAux+(it%7), float64(it+1))
 			}
@@ -255,9 +276,11 @@ func (a *WaterSp) Main(w *cvm.Worker) {
 
 	if w.GlobalID() == 0 {
 		sum := a.epot.Get(w, 0)
+		var pv [6]float64
 		for i := 0; i < n; i++ {
+			a.getSpan(w, i, fPos, pv[:])
 			for d := 0; d < 3; d++ {
-				sum += a.get(w, i, fPos+d) + 100*a.get(w, i, fVel+d)
+				sum += pv[d] + 100*pv[fVel+d]
 			}
 		}
 		a.checksum = sum

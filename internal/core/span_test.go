@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"cvm/internal/sim"
+)
+
+// spanScenario is one randomized page-state configuration for the
+// span-vs-elementwise equivalence property: each page of the region is
+// driven into a protocol state before a measured sweep runs over the
+// whole region through either the span accessors or the scalar loop.
+type spanScenario struct {
+	pages     int
+	peerWrite []bool // node 1 dirties the page (node 0's copy invalidates)
+	preRead   []bool // node 0 pre-reads (invalid → fetched read-only)
+	preWrite  []bool // node 0 pre-writes (twin present, read-write)
+	inflight  int    // page whose fetch a co-located thread starts, or -1
+	sweepLo   int    // measured span bounds, in elements
+	sweepHi   int
+	adds      []int // elements receiving a fused Add in the measured phase
+}
+
+func makeSpanScenario(seed uint64) spanScenario {
+	r := testRand(seed)
+	sc := spanScenario{pages: 5, inflight: -1}
+	perPage := (8 << 10) / 8
+	n := sc.pages * perPage
+	sc.peerWrite = make([]bool, sc.pages)
+	sc.preRead = make([]bool, sc.pages)
+	sc.preWrite = make([]bool, sc.pages)
+	for p := 0; p < sc.pages; p++ {
+		sc.peerWrite[p] = r.next() < 0.5
+		sc.preRead[p] = r.next() < 0.4
+		sc.preWrite[p] = r.next() < 0.3
+	}
+	// A fetch in flight: a co-located thread starts faulting a page the
+	// sweep will also touch (Block Same Page on whichever arrives second).
+	if r.next() < 0.7 {
+		sc.inflight = int(r.next() * float64(sc.pages))
+		sc.peerWrite[sc.inflight] = true
+		sc.preRead[sc.inflight] = false
+		sc.preWrite[sc.inflight] = false
+	}
+	sc.sweepLo = int(r.next() * float64(n/2))
+	sc.sweepHi = n/2 + int(r.next()*float64(n/2))
+	for k := 0; k < 4; k++ {
+		sc.adds = append(sc.adds, int(r.next()*float64(n)))
+	}
+	return sc
+}
+
+// runSpanScenario executes the scenario with the measured phase using
+// either the span accessors (span=true) or the elementwise loop, and
+// returns the run's full statistics, node 0's final page bytes, and the
+// values the sweep read.
+func runSpanScenario(t *testing.T, sc spanScenario, span bool) (RunStats, []byte, []float64) {
+	t.Helper()
+	s := testSystem(t, 2, 2)
+	pageSize := s.cfg.PageSize
+	base, err := s.Alloc("span", sc.pages*pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(i int) Addr { return base + Addr(i)*8 }
+	sweepN := sc.sweepHi - sc.sweepLo
+	got := make([]float64, sweepN)
+
+	runApp(t, s, func(w *Thread) {
+		nid, lid := w.NodeID(), w.LocalID()
+		w.Barrier(0)
+		// Peer dirties its pages: write notices for node 0.
+		if nid == 1 && lid == 0 {
+			for p, dirty := range sc.peerWrite {
+				if dirty {
+					for k := 0; k < 3; k++ {
+						w.WriteF64(at(p*pageSize/8+k*11), float64(100*p+k))
+					}
+				}
+			}
+		}
+		w.Barrier(1)
+		// Node 0 establishes the pre-states.
+		if nid == 0 && lid == 0 {
+			for p := 0; p < sc.pages; p++ {
+				if sc.preRead[p] {
+					_ = w.ReadF64(at(p * pageSize / 8))
+				}
+				if sc.preWrite[p] {
+					w.WriteF64(at(p*pageSize/8+5), float64(p)+0.5)
+				}
+			}
+		}
+		w.Barrier(2)
+
+		switch {
+		case nid == 0 && lid == 1 && sc.inflight >= 0:
+			// Start a fetch the sweep will collide with.
+			_ = w.ReadF64(at(sc.inflight * pageSize / 8))
+		case nid == 0 && lid == 0:
+			if span {
+				w.ReadRangeF64(at(sc.sweepLo), got)
+				for _, i := range sc.adds {
+					w.AddF64(at(i), 2.25)
+				}
+				buf := make([]float64, sweepN)
+				for i := range buf {
+					buf[i] = float64(sc.sweepLo+i) * 0.125
+				}
+				w.WriteRangeF64(at(sc.sweepLo), buf)
+				w.FillF64(at(sc.sweepLo), sweepN/3, math.Pi)
+			} else {
+				for i := 0; i < sweepN; i++ {
+					got[i] = w.ReadF64(at(sc.sweepLo + i))
+				}
+				for _, i := range sc.adds {
+					w.WriteF64(at(i), w.ReadF64(at(i))+2.25)
+				}
+				for i := 0; i < sweepN; i++ {
+					w.WriteF64(at(sc.sweepLo+i), float64(sc.sweepLo+i)*0.125)
+				}
+				for i := 0; i < sweepN/3; i++ {
+					w.WriteF64(at(sc.sweepLo+i), math.Pi)
+				}
+			}
+		}
+		w.Barrier(3)
+	})
+
+	var data []byte
+	for _, p := range s.nodes[0].pages {
+		if p == nil {
+			data = append(data, make([]byte, pageSize)...)
+		} else if p.data == nil {
+			data = append(data, make([]byte, pageSize)...)
+		} else {
+			data = append(data, p.data[:pageSize]...)
+		}
+	}
+	return s.Stats(), data, got
+}
+
+// TestSpanEquivalence is the property gate for the bulk fast path: over
+// randomized page-state configurations (invalid / read-only / read-write,
+// twin present or absent, a fetch in flight), the span accessors must
+// produce the same NodeStats counters, the same memory-system miss
+// counts, the same virtual end time, the same page bytes, and the same
+// values as the elementwise loop.
+func TestSpanEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		sc := makeSpanScenario(seed)
+		rsE, bytesE, gotE := runSpanScenario(t, sc, false)
+		rsS, bytesS, gotS := runSpanScenario(t, sc, true)
+
+		if !reflect.DeepEqual(rsE.Nodes, rsS.Nodes) {
+			t.Fatalf("seed %d: NodeStats diverged\nelementwise: %+v\nspan:        %+v",
+				seed, rsE.Nodes, rsS.Nodes)
+		}
+		if !reflect.DeepEqual(rsE.Mem, rsS.Mem) {
+			t.Fatalf("seed %d: memsim stats diverged\nelementwise: %+v\nspan:        %+v",
+				seed, rsE.Mem, rsS.Mem)
+		}
+		if rsE.Wall != rsS.Wall {
+			t.Fatalf("seed %d: virtual end time diverged: elementwise %v, span %v",
+				seed, rsE.Wall, rsS.Wall)
+		}
+		if !reflect.DeepEqual(rsE.Net, rsS.Net) {
+			t.Fatalf("seed %d: network stats diverged", seed)
+		}
+		if !bytes.Equal(bytesE, bytesS) {
+			t.Fatalf("seed %d: node 0 page bytes diverged", seed)
+		}
+		if !reflect.DeepEqual(gotE, gotS) {
+			t.Fatalf("seed %d: sweep read values diverged", seed)
+		}
+	}
+}
+
+// TestSpanZeroPages: span reads of never-materialized pages return zeros
+// without allocating page frames, like the scalar path.
+func TestSpanZeroPages(t *testing.T) {
+	s := testSystem(t, 1, 1)
+	base, err := s.Alloc("zero", 3*s.cfg.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runApp(t, s, func(w *Thread) {
+		dst := make([]float64, 2*s.cfg.PageSize/8)
+		for i := range dst {
+			dst[i] = 42
+		}
+		w.ReadRangeF64(base+8, dst[:len(dst)-2])
+		for i, v := range dst[:len(dst)-2] {
+			if v != 0 {
+				t.Errorf("element %d = %v, want 0", i, v)
+			}
+		}
+	})
+	for _, p := range s.nodes[0].pages {
+		if p != nil && p.data != nil {
+			t.Errorf("page %d materialized by a read of untouched memory", p.id)
+		}
+	}
+}
+
+// TestSpanI64RoundTrip exercises the int64 span variants across a page
+// boundary.
+func TestSpanI64RoundTrip(t *testing.T) {
+	s := testSystem(t, 1, 1)
+	base, err := s.Alloc("i64", 3*s.cfg.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPage := s.cfg.PageSize / 8
+	runApp(t, s, func(w *Thread) {
+		src := make([]int64, perPage+10)
+		for i := range src {
+			src[i] = int64(i)*3 - 7
+		}
+		w.WriteRangeI64(base+Addr(perPage-5)*8, src)
+		dst := make([]int64, len(src))
+		w.ReadRangeI64(base+Addr(perPage-5)*8, dst)
+		if !reflect.DeepEqual(src, dst) {
+			t.Fatal("int64 span round trip mismatch")
+		}
+		w.FillI64(base, 4, -9)
+		for i := 0; i < 4; i++ {
+			if got := w.ReadI64(base + Addr(i)*8); got != -9 {
+				t.Errorf("fill element %d = %d, want -9", i, got)
+			}
+		}
+	})
+}
+
+// TestSpanVirtualTimeMatchesScalar pins the charge model: a span read of
+// k elements must advance virtual time exactly as k scalar reads do (the
+// coalesced Advance is the sum of the per-element costs).
+func TestSpanVirtualTimeMatchesScalar(t *testing.T) {
+	run := func(span bool) sim.Time {
+		s := testSystem(t, 1, 1)
+		base, err := s.Alloc("vt", 2*s.cfg.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var start, end sim.Time
+		runApp(t, s, func(w *Thread) {
+			n := s.cfg.PageSize/8 + 100
+			buf := make([]float64, n)
+			for i := range buf {
+				buf[i] = float64(i)
+			}
+			w.WriteRangeF64(base, buf) // identical warm-up in both runs
+			start = w.Now()
+			if span {
+				w.ReadRangeF64(base+24, buf[:n-10])
+			} else {
+				for i := 0; i < n-10; i++ {
+					buf[i] = w.ReadF64(base + 24 + Addr(i)*8)
+				}
+			}
+			end = w.Now()
+		})
+		return end - start
+	}
+	if e, sp := run(false), run(true); e != sp {
+		t.Fatalf("span read advanced %v, scalar loop %v", sp, e)
+	}
+}

@@ -124,6 +124,18 @@ func (a *assoc) touch(key uint64) bool {
 	return false
 }
 
+// find returns the way index currently holding key, or -1.
+func (a *assoc) find(key uint64) int {
+	set := int(key % uint64(a.sets))
+	stored := key + 1
+	for i := set * a.ways; i < (set+1)*a.ways; i++ {
+		if a.tags[i] == stored {
+			return i
+		}
+	}
+	return -1
+}
+
 // System simulates one node's memory hierarchy.
 type System struct {
 	params Params
@@ -204,6 +216,42 @@ func (s *System) Access(addr uint64) sim.Time {
 	return cost
 }
 
+// AccessStride8 simulates cnt sequential 8-byte data accesses starting at
+// addr (a typed-array span) and returns the total cost. Counters, costs,
+// and replacement state are bit-identical to cnt scalar Access calls:
+// after the first access of a cache line, the scalar path's remaining
+// accesses in that line are guaranteed memo hits (same line, same page),
+// so their effect — Accesses++ and HitCost each, no tag-array activity —
+// is applied in bulk without re-running the per-access checks.
+func (s *System) AccessStride8(addr uint64, cnt int) sim.Time {
+	if s.noMemo || s.lineShift < 3 || s.pageShift < s.lineShift {
+		// Geometry where same-line does not imply the memo shortcut;
+		// replay the scalar sequence.
+		var cost sim.Time
+		for i := 0; i < cnt; i++ {
+			cost += s.Access(addr + uint64(i)*8)
+		}
+		return cost
+	}
+	var cost sim.Time
+	line := uint64(s.params.LineSize)
+	for cnt > 0 {
+		lineEnd := (addr &^ (line - 1)) + line
+		k := int((lineEnd - addr + 7) / 8)
+		if k > cnt {
+			k = cnt
+		}
+		cost += s.Access(addr)
+		if k > 1 {
+			s.stats.Accesses += int64(k - 1)
+			cost += sim.Time(k-1) * s.params.HitCost
+		}
+		addr += uint64(k) * 8
+		cnt -= k
+	}
+	return cost
+}
+
 // AccessRange simulates a sequential multi-byte access (e.g. a block copy)
 // touching every line in [addr, addr+n).
 func (s *System) AccessRange(addr uint64, n int) sim.Time {
@@ -224,6 +272,52 @@ func (s *System) InstrTouch(codePage uint64) sim.Time {
 	}
 	s.stats.ITLBMisses++
 	return s.params.ITLBMissPen
+}
+
+// InstrTouchCycle simulates cnt instruction fetches cycling through a
+// phase's code pages — page base + (start+i) % mod for i = 1..cnt — and
+// returns the total cost. It is the bulk form of the per-access rotating
+// InstrTouch in a thread's charge loop, bit-identical in miss counts,
+// costs, tick, and per-entry LRU stamps: after one full warm cycle every
+// code page is resident, and since hits evict nothing, the remaining
+// touches are all hits whose only effect is advancing the LRU clock and
+// refreshing each page's stamp to its final touch time.
+func (s *System) InstrTouchCycle(base uint64, mod, start, cnt int) sim.Time {
+	if mod <= 0 || cnt <= 0 {
+		return 0
+	}
+	if cnt <= 2*mod || !s.itlbCycleSafe(mod) {
+		var cost sim.Time
+		for i := 1; i <= cnt; i++ {
+			cost += s.InstrTouch(base + uint64(start+i)%uint64(mod))
+		}
+		return cost
+	}
+	tick0 := s.itlb.tick
+	var cost sim.Time
+	for i := 1; i <= mod; i++ {
+		cost += s.InstrTouch(base + uint64(start+i)%uint64(mod))
+	}
+	// The remaining cnt-mod touches are guaranteed hits; replay their
+	// tick and stamp effects in bulk.
+	s.itlb.tick = tick0 + int64(cnt)
+	for c := 0; c < mod; c++ {
+		// Last step i in 1..cnt with (start+i) % mod == c.
+		last := cnt - (start+cnt-c)%mod
+		if w := s.itlb.find(base + uint64(c)); w >= 0 {
+			s.itlb.stamp[w] = tick0 + int64(last)
+		}
+	}
+	return cost
+}
+
+// itlbCycleSafe reports whether mod consecutive code pages fit in the
+// I-TLB without self-eviction: no set receives more cycle pages than it
+// has ways. Consecutive keys spread round-robin over sets, so the
+// per-set population is at most ceil(mod/sets).
+func (s *System) itlbCycleSafe(mod int) bool {
+	sets := s.itlb.sets
+	return (mod+sets-1)/sets <= s.itlb.ways
 }
 
 func log2(n int) uint {

@@ -299,3 +299,105 @@ func TestAccessMemoEquivalenceRandomized(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAccessStride8Equivalence drives span accesses and an elementwise
+// reference in lockstep and requires bit-identical costs, counters, and
+// subsequent behavior (the final LRU state must match too, which the
+// trailing probe accesses expose).
+func TestAccessStride8Equivalence(t *testing.T) {
+	for _, params := range []Params{SP2Params(), AlphaParams()} {
+		fast := NewSystem(params)
+		ref := NewSystem(params)
+		spans := []struct {
+			addr uint64
+			cnt  int
+		}{
+			{0, 1}, {0, 7}, {8, 8}, {24, 1000}, {8000, 64}, // page-crossing
+			{1 << 20, 4096}, {40, 3}, {48, 3}, {0, 2048},   // re-sweep
+		}
+		for _, sp := range spans {
+			cf := fast.AccessStride8(sp.addr, sp.cnt)
+			var cr sim.Time
+			for i := 0; i < sp.cnt; i++ {
+				cr += ref.Access(sp.addr + uint64(i)*8)
+			}
+			if cf != cr {
+				t.Fatalf("span (%#x,%d): cost %v != elementwise %v", sp.addr, sp.cnt, cf, cr)
+			}
+			if fast.Stats() != ref.Stats() {
+				t.Fatalf("span (%#x,%d): stats %+v != %+v", sp.addr, sp.cnt, fast.Stats(), ref.Stats())
+			}
+		}
+		// Probe addresses that collide with swept sets: any divergence in
+		// replacement state shows up as differing hit/miss outcomes.
+		for i := 0; i < 4096; i++ {
+			a := uint64(i) * 4096
+			if fast.Access(a) != ref.Access(a) {
+				t.Fatalf("probe %d: replacement state diverged", i)
+			}
+		}
+		if fast.Stats() != ref.Stats() {
+			t.Fatalf("post-probe stats diverged: %+v != %+v", fast.Stats(), ref.Stats())
+		}
+	}
+}
+
+// TestAccessStride8EquivalenceRandomized complements the fixed spans with
+// quick.Check-driven (addr, cnt) sequences.
+func TestAccessStride8EquivalenceRandomized(t *testing.T) {
+	f := func(spans []uint16) bool {
+		fast := NewSystem(SP2Params())
+		ref := NewSystem(SP2Params())
+		for _, s16 := range spans {
+			addr := uint64(s16&0x0fff) * 8
+			cnt := int(s16>>12) + 1
+			var cr sim.Time
+			cf := fast.AccessStride8(addr, cnt)
+			for i := 0; i < cnt; i++ {
+				cr += ref.Access(addr + uint64(i)*8)
+			}
+			if cf != cr || fast.Stats() != ref.Stats() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInstrTouchCycleEquivalence checks the bulk instruction-fetch cycle
+// against the per-access rotating InstrTouch sequence: identical costs,
+// miss counts, and — via interleaved competing touches that depend on the
+// I-TLB's LRU stamps — identical replacement state.
+func TestInstrTouchCycleEquivalence(t *testing.T) {
+	for _, mod := range []int{1, 2, 3, 5, 8} {
+		fast := NewSystem(SP2Params())
+		ref := NewSystem(SP2Params())
+		rot := 0
+		base := uint64(2 << 40)
+		for step, cnt := range []int{1, 3, 7, 100, 2, 5000, 1, 12, 999} {
+			cf := fast.InstrTouchCycle(base, mod, rot, cnt)
+			var cr sim.Time
+			for i := 1; i <= cnt; i++ {
+				cr += ref.InstrTouch(base + uint64(rot+i)%uint64(mod))
+			}
+			rot += cnt
+			if cf != cr {
+				t.Fatalf("mod=%d step=%d: cost %v != elementwise %v", mod, step, cf, cr)
+			}
+			if fast.Stats() != ref.Stats() {
+				t.Fatalf("mod=%d step=%d: stats %+v != %+v", mod, step, fast.Stats(), ref.Stats())
+			}
+			// Interleave competing code pages (another phase's footprint,
+			// same sets): evictions depend on the stamps the bulk path
+			// synthesized, so stale stamps would diverge here.
+			for k := uint64(0); k < 5; k++ {
+				if fast.InstrTouch(1<<41+k) != ref.InstrTouch(1<<41+k) {
+					t.Fatalf("mod=%d step=%d: competing touch %d diverged", mod, step, k)
+				}
+			}
+		}
+	}
+}

@@ -109,7 +109,7 @@ func (e *Engine) Run() error {
 	// message deliveries whose senders have already finished) so traffic
 	// accounting is complete.
 	for e.live > 0 || e.events.Len() > 0 {
-		p := e.minProc()
+		p, next := e.minProcNext()
 		evAt := e.events.peekTime()
 
 		// Events run first on ties so handlers at time T are applied
@@ -124,44 +124,45 @@ func (e *Engine) Run() error {
 			continue
 		}
 
-		e.dispatchProc(p)
+		e.dispatchProc(p, minTime(evAt, next))
 	}
 	return nil
 }
 
-// minProc returns the runnable proc with the lowest clock, or nil.
-// Ties break by processor index, keeping dispatch deterministic.
-func (e *Engine) minProc() *Proc {
+// minProcNext returns the runnable proc with the lowest clock (nil if
+// none; ties break by processor index, keeping dispatch deterministic)
+// and, from the same scan, the lowest clock among the other runnable
+// procs — the processor contribution to the winner's causality horizon.
+func (e *Engine) minProcNext() (*Proc, Time) {
 	var best *Proc
+	next := MaxTime
 	for _, p := range e.procs {
 		if !p.runnable() {
 			continue
 		}
-		if best == nil || p.clock < best.clock {
+		switch {
+		case best == nil:
 			best = p
+		case p.clock < best.clock:
+			next = minTime(next, best.clock)
+			best = p
+		default:
+			next = minTime(next, p.clock)
 		}
 	}
-	return best
+	return best, next
 }
 
-// horizonFor computes the causality horizon for running p: the lowest
-// timestamp of any pending event or other runnable processor.
-func (e *Engine) horizonFor(p *Proc) Time {
-	h := e.events.peekTime()
-	for _, q := range e.procs {
-		if q != p && q.runnable() {
-			h = minTime(h, q.clock)
-		}
-	}
-	return h
-}
-
-func (e *Engine) dispatchProc(p *Proc) {
+// dispatchProc grants p's next task a slice bounded by horizon (the
+// lowest timestamp of any pending event or other runnable processor,
+// computed by the caller's dispatch scan; p.dispatch only mutates p, so
+// the bound stays valid).
+func (e *Engine) dispatchProc(p *Proc, horizon Time) {
 	sliceStart := p.clock
 	t := p.dispatch()
 	e.now = p.clock
 
-	t.resume <- grant{horizon: e.horizonFor(p)}
+	t.resume <- grant{horizon: horizon}
 	r := <-e.reports
 
 	if r.task != t {

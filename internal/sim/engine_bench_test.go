@@ -46,3 +46,26 @@ func BenchmarkEngineSpawnRun(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDispatchScan measures the per-dispatch processor scan on a
+// populated engine: 16 procs (the largest paper configuration) whose
+// tasks advance in small steps, so nearly every Run-loop turn pays one
+// minProcNext scan. The scan used to be two O(P) passes (min-clock
+// selection plus a separate horizon pass); it is now one.
+func BenchmarkDispatchScan(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine()
+		for pi := 0; pi < 16; pi++ {
+			p := eng.AddProc(8 * Microsecond)
+			eng.Spawn(p, "t", func(tk *Task) {
+				for j := 0; j < 200; j++ {
+					tk.Advance(Microsecond)
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
