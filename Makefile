@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race golden-trace bench-smoke perf-baseline
+.PHONY: check vet build test race golden-trace bench-smoke metrics-gate metrics-baseline perf-baseline
 
 ## check: the pre-commit gate (mirrors .github/workflows/ci.yml) — vet,
-## build, race-test everything, verify the golden trace, and a
-## one-iteration pass over every benchmark so the perf kernels stay honest.
-check: vet build race golden-trace bench-smoke
+## build, race-test everything, verify the golden trace, a one-iteration
+## pass over every benchmark so the perf kernels stay honest, and the
+## metrics regression gate against the committed baseline.
+check: vet build race golden-trace bench-smoke metrics-gate
 	@echo "check: OK"
 
 vet:
@@ -30,6 +31,20 @@ golden-trace:
 ## panic or assert-fail without paying for stable timings.
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+## metrics-gate: re-run the baseline workload and compare its metrics
+## report against the committed BASELINE_metrics.json. The simulator is
+## deterministic, so any event-count drift fails hard; mean-latency
+## drift beyond 25% warns. Regenerate intentionally with
+## `make metrics-baseline` after protocol or calibration changes.
+metrics-gate:
+	$(GO) run ./cmd/cvm-run -app waternsq -nodes 4 -threads 2 -size test -metrics metrics_current.json >/dev/null
+	$(GO) run ./cmd/cvm-metrics compare BASELINE_metrics.json metrics_current.json
+	@rm -f metrics_current.json
+
+## metrics-baseline: regenerate the committed metrics-gate baseline.
+metrics-baseline:
+	$(GO) run ./cmd/cvm-run -app waternsq -nodes 4 -threads 2 -size test -metrics BASELINE_metrics.json >/dev/null
 
 ## perf-baseline: regenerate BENCH_harness.json (compare before committing
 ## changes to the diff/memsim/harness hot paths).

@@ -6,13 +6,17 @@
 //	cvm-bench -experiment all -size small
 //	cvm-bench -experiment fig1
 //	cvm-bench -experiment table5 -size paper
+//	cvm-bench -experiment fig1 -size test -metrics profile.json -report
 //
 // Experiments: costs, fig1, table2, table3, fig2, table4, table5, ablation, protocols, all.
 //
 // Grid cells are independent simulations and run concurrently; -parallel N
 // caps the worker count (default: all CPUs; 1 reproduces the sequential
-// baseline). The perf experiment benchmarks the harness itself and writes
-// a machine-readable baseline:
+// baseline). -metrics/-report attach a metrics registry to every cell of
+// the Figure 1 / Tables 2-3 / Figure 2 grid and emit the aggregated
+// profile (cell snapshots merge in deterministic grid order, so the
+// report is byte-identical at any -parallel). The perf experiment
+// benchmarks the harness itself and writes a machine-readable baseline:
 //
 //	cvm-bench -experiment perf -json BENCH_harness.json
 package main
@@ -22,29 +26,48 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"cvm"
 	"cvm/internal/apps"
 	"cvm/internal/harness"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cvm-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cvm-bench", flag.ContinueOnError)
 	var (
-		experiment = flag.String("experiment", "all",
+		experiment = fs.String("experiment", "all",
 			"experiment to regenerate: costs, fig1, table2, table3, fig2, table4, table5, ablation, protocols, perf, all")
-		size     = flag.String("size", "small", "input scale: test, small, paper")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-		nodes16  = flag.Bool("with16", true, "include 16-node runs in table4")
-		parallel = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = all CPUs, 1 = sequential)")
-		jsonPath = flag.String("json", "BENCH_harness.json", "output path for the perf experiment's JSON baseline")
+		size     = fs.String("size", "small", "input scale: test, small, paper")
+		quiet    = fs.Bool("q", false, "suppress progress output")
+		nodes16  = fs.Bool("with16", true, "include 16-node runs in table4")
+		parallel = fs.Int("parallel", 0, "worker goroutines for independent runs (0 = all CPUs, 1 = sequential)")
+		jsonPath = fs.String("json", "BENCH_harness.json", "output path for the perf experiment's JSON baseline")
+
+		metricsOut  = fs.String("metrics", "", "write the aggregated metrics JSON report of the fig1/table2/table3/fig2 grid to this file")
+		showReport  = fs.Bool("report", false, "print the aggregated metrics profile of the fig1/table2/table3/fig2 grid")
+		metricsBin  = fs.Duration("metrics-interval", 0, "utilization-timeline bin width in virtual time (0 = default 10ms)")
+		metricsTopN = fs.Int("metrics-top", 10, "rows kept in the hot-page and hot-lock tables")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if *metricsBin < 0 {
+		return fmt.Errorf("-metrics-interval must be >= 0, got %v", *metricsBin)
+	}
+	if *metricsTopN < 1 {
+		return fmt.Errorf("-metrics-top must be >= 1, got %d", *metricsTopN)
+	}
 
 	sz, err := apps.ParseSize(*size)
 	if err != nil {
@@ -54,9 +77,14 @@ func run() error {
 	if !*quiet {
 		progress = os.Stderr
 	}
-	out := os.Stdout
 
 	want := func(name string) bool { return *experiment == name || *experiment == "all" }
+
+	wantMetrics := *metricsOut != "" || *showReport
+	gridWanted := want("fig1") || want("table2") || want("table3") || want("fig2")
+	if wantMetrics && !gridWanted {
+		return fmt.Errorf("-metrics/-report apply to the fig1/table2/table3/fig2 grid; -experiment %s does not run it", *experiment)
+	}
 
 	if want("costs") {
 		c, err := harness.MeasureCosts()
@@ -69,11 +97,27 @@ func run() error {
 
 	// Figure 1, Tables 2-3 and Figure 2 share one grid over 4 and 8
 	// nodes at 1-4 threads.
-	if want("fig1") || want("table2") || want("table3") || want("fig2") {
-		res, err := harness.RunGridParallel(harness.AppOrder, sz,
-			harness.GridShapes([]int{4, 8}, harness.ThreadLevels), progress, *parallel)
-		if err != nil {
-			return err
+	if gridWanted {
+		var res harness.Results
+		if wantMetrics {
+			var snap *cvm.MetricsSnapshot
+			res, snap, err = harness.RunGridMetricsParallel(harness.AppOrder, sz,
+				harness.GridShapes([]int{4, 8}, harness.ThreadLevels), progress, *parallel,
+				cvm.Time((*metricsBin).Nanoseconds()))
+			if err != nil {
+				return err
+			}
+			rep := cvm.NewMetricsReport("grid",
+				fmt.Sprintf("experiment=%s size=%s", *experiment, *size), snap, *metricsTopN)
+			if err := emitGridMetrics(out, rep, *metricsOut, *showReport); err != nil {
+				return err
+			}
+		} else {
+			res, err = harness.RunGridParallel(harness.AppOrder, sz,
+				harness.GridShapes([]int{4, 8}, harness.ThreadLevels), progress, *parallel)
+			if err != nil {
+				return err
+			}
 		}
 		if want("fig1") {
 			harness.WriteFigure1(out, res, harness.AppOrder, []int{4, 8}, harness.ThreadLevels)
@@ -155,5 +199,30 @@ func run() error {
 		fmt.Fprintln(out)
 	}
 
+	return nil
+}
+
+// emitGridMetrics writes the aggregated grid profile as requested.
+func emitGridMetrics(out io.Writer, rep *cvm.MetricsReport, jsonPath string, show bool) error {
+	if show {
+		if err := rep.WriteText(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote metrics report to %s\n\n", jsonPath)
+	}
 	return nil
 }

@@ -16,39 +16,12 @@ import (
 	"cvm/internal/memsim"
 )
 
-// perfBaseline is the schema of BENCH_harness.json: an end-to-end
-// sequential-vs-parallel harness comparison plus hot-path microbenchmarks,
-// written so future changes have a perf trajectory to diff against.
-type perfBaseline struct {
-	GoVersion  string `json:"go_version"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Size       string `json:"size"`
-
-	Grid struct {
-		Cells       int     `json:"cells"`
-		Workers     int     `json:"workers"`
-		SeqSeconds  float64 `json:"seq_seconds"`
-		ParSeconds  float64 `json:"par_seconds"`
-		SeqCellsSec float64 `json:"seq_cells_per_sec"`
-		ParCellsSec float64 `json:"par_cells_per_sec"`
-		Speedup     float64 `json:"speedup"`
-		Identical   bool    `json:"results_identical"`
-	} `json:"grid"`
-
-	Micro []microResult `json:"micro"`
-}
-
-type microResult struct {
-	Name     string  `json:"name"`
-	NsOp     float64 `json:"ns_op"`
-	AllocsOp int64   `json:"allocs_op"`
-}
-
 // runPerf benchmarks the harness itself: one grid run sequentially and one
 // at the requested parallelism, checked for identical results, plus the
-// MakeDiff/Apply and memsim microbenchmarks, emitted as JSON.
+// MakeDiff/Apply and memsim microbenchmarks, emitted as JSON in the
+// harness.PerfBaseline schema.
 func runPerf(out io.Writer, size apps.Size, workers int, jsonPath string, progress io.Writer) error {
-	var b perfBaseline
+	var b harness.PerfBaseline
 	b.GoVersion = runtime.Version()
 	b.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	b.Size = sizeName(size)
@@ -130,8 +103,8 @@ func runPerf(out io.Writer, size apps.Size, workers int, jsonPath string, progre
 	return nil
 }
 
-func micro(name string, r testing.BenchmarkResult) microResult {
-	return microResult{Name: name, NsOp: float64(r.T.Nanoseconds()) / float64(r.N), AllocsOp: r.AllocsPerOp()}
+func micro(name string, r testing.BenchmarkResult) harness.MicroResult {
+	return harness.MicroResult{Name: name, NsOp: float64(r.T.Nanoseconds()) / float64(r.N), AllocsOp: r.AllocsPerOp()}
 }
 
 func sizeName(s apps.Size) string {

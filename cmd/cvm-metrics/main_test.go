@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cvm/internal/harness"
+	"cvm/internal/metrics"
+)
+
+// writeReport builds a small report with count scaled by k and mean
+// latency around lat, and writes it to dir/name.
+func writeReport(t *testing.T, dir, name string, count int, lat int64) string {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	reg.Configure(1, []string{"Lock"})
+	for i := 0; i < count; i++ {
+		reg.Node(0).Lock2Hop.Observe(lat + int64(i))
+		reg.Node(0).UserBurst.Observe(1000)
+	}
+	rep := metrics.NewReport(metrics.Meta{App: "test"}, reg.Snapshot(), 5)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeBaseline writes a harness perf baseline to dir/name.
+func writeBaseline(t *testing.T, dir, name string, identical bool, nsOp float64, allocs int64) string {
+	t.Helper()
+	b := harness.PerfBaseline{
+		Grid: harness.PerfGrid{Cells: 1, Identical: identical},
+		Micro: []harness.MicroResult{
+			{Name: "MakeDiff/sparse", NsOp: nsOp, AllocsOp: allocs},
+		},
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestArgValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no subcommand", nil, "usage"},
+		{"unknown subcommand", []string{"frobnicate"}, "unknown subcommand"},
+		{"show no file", []string{"show"}, "usage"},
+		{"compare one file", []string{"compare", "a.json"}, "usage"},
+		{"compare negative tol", []string{"compare", "-tol", "-1", "a.json", "b.json"}, "-tol"},
+		{"compare malformed tol", []string{"compare", "-tol", "lots", "a.json", "b.json"}, "invalid value"},
+		{"show missing file", []string{"show", "/nonexistent/x.json"}, "no such file"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(tc.args, &out)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %q, want it to contain %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompareReportsGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", 10, 900_000)
+	same := writeReport(t, dir, "same.json", 10, 900_000)
+	drifted := writeReport(t, dir, "drift.json", 12, 900_000)
+	slower := writeReport(t, dir, "slow.json", 10, 2_000_000)
+
+	var out bytes.Buffer
+	if err := run([]string{"compare", base, same}, &out); err != nil {
+		t.Fatalf("identical reports must pass: %v (%s)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok:") {
+		t.Errorf("expected ok summary, got %q", out.String())
+	}
+
+	// Count drift is a hard failure (runs are deterministic).
+	out.Reset()
+	if err := run([]string{"compare", base, drifted}, &out); err == nil {
+		t.Fatalf("count drift must fail; output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "count") {
+		t.Errorf("failure output does not name the count drift: %q", out.String())
+	}
+
+	// Latency regression warns by default, fails with -hard-latency.
+	out.Reset()
+	if err := run([]string{"compare", base, slower}, &out); err != nil {
+		t.Fatalf("latency drift should only warn by default: %v (%s)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "warn") {
+		t.Errorf("expected a warning, got %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"compare", "-hard-latency", base, slower}, &out); err == nil {
+		t.Fatal("-hard-latency must escalate latency regressions to failures")
+	}
+}
+
+func TestComparePerfBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBaseline(t, dir, "base.json", true, 1000, 2)
+	same := writeBaseline(t, dir, "same.json", true, 1040, 2)
+	slower := writeBaseline(t, dir, "slow.json", true, 2000, 2)
+	leaky := writeBaseline(t, dir, "leaky.json", true, 1000, 3)
+	nondet := writeBaseline(t, dir, "nondet.json", false, 1000, 2)
+
+	var out bytes.Buffer
+	if err := run([]string{"compare", base, same}, &out); err != nil {
+		t.Fatalf("within-noise baseline must pass: %v (%s)", err, out.String())
+	}
+
+	// ns/op regressions only warn (host timing is noisy)...
+	out.Reset()
+	if err := run([]string{"compare", base, slower}, &out); err != nil {
+		t.Fatalf("ns/op drift should warn, not fail: %v (%s)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ns_op") {
+		t.Errorf("warning does not name ns_op: %q", out.String())
+	}
+
+	// ...but allocation growth and determinism violations fail hard.
+	out.Reset()
+	if err := run([]string{"compare", base, leaky}, &out); err == nil {
+		t.Fatalf("allocs/op growth must fail; output: %s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"compare", base, nondet}, &out); err == nil {
+		t.Fatalf("results_identical=false must fail; output: %s", out.String())
+	}
+
+	// Mixing schemas is an error, not a silent pass.
+	rep := writeReport(t, dir, "rep.json", 1, 1000)
+	if err := run([]string{"compare", base, rep}, &bytes.Buffer{}); err == nil {
+		t.Fatal("comparing a perf baseline against a metrics report must error")
+	}
+}
+
+func TestShowRendersReport(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "rep.json", 5, 900_000)
+	var out bytes.Buffer
+	if err := run([]string{"show", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "latency histograms") ||
+		!strings.Contains(out.String(), "lock_2hop") {
+		t.Errorf("show output missing histogram table: %q", out.String())
+	}
+}

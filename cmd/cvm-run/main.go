@@ -5,18 +5,22 @@
 //
 //	cvm-run -app sor -nodes 8 -threads 2 -size small
 //	cvm-run -app sor -nodes 8 -threads 1,2,4 -parallel 3
+//	cvm-run -app waternsq -nodes 4 -threads 2 -size test -report -metrics profile.json
 //
 // Applications: barnes, fft, ocean, sor, swm750, watersp, waternsq,
 // waternsq-noopts, waternsq-localbarrier. Sizes: test, small, paper.
 //
 // -threads accepts a comma-separated list; the resulting configurations
 // are independent simulations and run concurrently across -parallel
-// worker goroutines (0 = all CPUs).
+// worker goroutines (0 = all CPUs). Instrumented runs (-trace, -metrics,
+// -metrics-csv, -report) need a single -threads level; tracing and
+// metrics can be combined in one run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -30,23 +34,44 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cvm-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cvm-run", flag.ContinueOnError)
 	var (
-		appName    = flag.String("app", "sor", "application: "+strings.Join(apps.Names(), ", "))
-		nodes      = flag.Int("nodes", 8, "number of nodes (processors)")
-		threads    = flag.String("threads", "1", "application threads per node (comma-separated list sweeps)")
-		size       = flag.String("size", "small", "input scale: test, small, paper")
-		parallel   = flag.Int("parallel", 0, "worker goroutines for a threads sweep (0 = all CPUs, 1 = sequential)")
-		traceOut   = flag.String("trace", "", "record protocol events and write Chrome trace JSON to this file (single -threads level only)")
-		traceLimit = flag.Int("trace-limit", 0, "per-node trace event ring bound (0 = unbounded)")
+		appName    = fs.String("app", "sor", "application: "+strings.Join(apps.Names(), ", "))
+		nodes      = fs.Int("nodes", 8, "number of nodes (processors)")
+		threads    = fs.String("threads", "1", "application threads per node (comma-separated list sweeps)")
+		size       = fs.String("size", "small", "input scale: test, small, paper")
+		parallel   = fs.Int("parallel", 0, "worker goroutines for a threads sweep (0 = all CPUs, 1 = sequential)")
+		traceOut   = fs.String("trace", "", "record protocol events and write Chrome trace JSON to this file")
+		traceLimit = fs.Int("trace-limit", 0, "per-node trace event ring bound (0 = unbounded)")
+
+		metricsOut  = fs.String("metrics", "", "collect virtual-time metrics and write the JSON report to this file")
+		metricsCSV  = fs.String("metrics-csv", "", "write the metrics report as CSV to this file")
+		showReport  = fs.Bool("report", false, "print the human-readable metrics profile (histograms, hot pages/locks, timeline)")
+		metricsBin  = fs.Duration("metrics-interval", 0, "utilization-timeline bin width in virtual time (0 = default 10ms)")
+		metricsTopN = fs.Int("metrics-top", 10, "rows kept in the hot-page and hot-lock tables")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if *traceLimit < 0 {
+		return fmt.Errorf("-trace-limit must be >= 0, got %d", *traceLimit)
+	}
+	if *metricsBin < 0 {
+		return fmt.Errorf("-metrics-interval must be >= 0, got %v", *metricsBin)
+	}
+	if *metricsTopN < 1 {
+		return fmt.Errorf("-metrics-top must be >= 1, got %d", *metricsTopN)
+	}
 
 	sz, err := apps.ParseSize(*size)
 	if err != nil {
@@ -57,11 +82,19 @@ func run() error {
 		return err
 	}
 
-	if *traceOut != "" {
+	wantMetrics := *metricsOut != "" || *metricsCSV != "" || *showReport
+	if *traceOut != "" || wantMetrics {
 		if len(levels) != 1 {
-			return fmt.Errorf("-trace needs a single -threads level, got %q", *threads)
+			return fmt.Errorf("-trace/-metrics/-report need a single -threads level, got %q", *threads)
 		}
-		return runTraced(*appName, sz, *nodes, levels[0], *size, *traceOut, *traceLimit)
+		return runInstrumented(out, instrumentOpts{
+			app: *appName, size: sz, sizeName: *size,
+			nodes: *nodes, threads: levels[0],
+			traceOut: *traceOut, traceLimit: *traceLimit,
+			metricsOut: *metricsOut, metricsCSV: *metricsCSV,
+			report: *showReport, wantMetrics: wantMetrics,
+			interval: cvm.Time((*metricsBin).Nanoseconds()), topN: *metricsTopN,
+		})
 	}
 
 	// The sweep's cells are independent simulations; fan them out over
@@ -74,44 +107,120 @@ func run() error {
 	for i, t := range levels {
 		st, ok := res[harness.Key{App: *appName, Nodes: *nodes, Threads: t}]
 		if !ok {
-			fmt.Printf("%s does not support %d threads per node; skipped\n", *appName, t)
+			fmt.Fprintf(out, "%s does not support %d threads per node; skipped\n", *appName, t)
 			continue
 		}
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
-		if err := report(*appName, *nodes, t, *size, st); err != nil {
+		if err := report(out, *appName, *nodes, t, *size, st); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// runTraced executes one traced simulation and exports the events.
-func runTraced(appName string, sz apps.Size, nodes, threads int, size, out string, limit int) error {
-	rec := trace.NewRecorder(nodes, threads, limit)
-	cfg := cvm.DefaultConfig(nodes, threads)
-	cfg.Tracer = rec
-	st, err := apps.RunConfig(appName, sz, cfg)
+// instrumentOpts parameterizes one instrumented (traced and/or metered)
+// run.
+type instrumentOpts struct {
+	app      string
+	size     apps.Size
+	sizeName string
+	nodes    int
+	threads  int
+
+	traceOut   string
+	traceLimit int
+
+	metricsOut  string
+	metricsCSV  string
+	report      bool
+	wantMetrics bool
+	interval    cvm.Time
+	topN        int
+}
+
+// runInstrumented executes one simulation with tracing and/or metrics
+// attached, prints the statistics, and writes the requested artifacts.
+// Both instruments observe without advancing virtual time, so they
+// compose without perturbing each other or the run.
+func runInstrumented(out io.Writer, o instrumentOpts) error {
+	cfg := cvm.DefaultConfig(o.nodes, o.threads)
+	var rec *trace.Recorder
+	if o.traceOut != "" {
+		rec = trace.NewRecorder(o.nodes, o.threads, o.traceLimit)
+		cfg.Tracer = rec
+	}
+	var reg *cvm.Metrics
+	if o.wantMetrics {
+		reg = cvm.NewMetrics()
+		if o.interval > 0 {
+			reg.SetInterval(o.interval)
+		}
+		cfg.Metrics = reg
+	}
+
+	st, err := apps.RunConfig(o.app, o.size, cfg)
 	if err != nil {
 		return err
 	}
-	if err := report(appName, nodes, threads, size, st); err != nil {
+	if err := report(out, o.app, o.nodes, o.threads, o.sizeName, st); err != nil {
 		return err
 	}
-	f, err := os.Create(out)
+
+	if rec != nil {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %d trace events to %s (load at ui.perfetto.dev)\n", rec.Len(), o.traceOut)
+	}
+
+	if reg == nil {
+		return nil
+	}
+	rep := cvm.NewMetricsReport(o.app,
+		fmt.Sprintf("%dx%d size=%s", o.nodes, o.threads, o.sizeName),
+		reg.Snapshot(), o.topN)
+	if o.report {
+		fmt.Fprintln(out)
+		if err := rep.WriteText(out); err != nil {
+			return err
+		}
+	}
+	if o.metricsOut != "" {
+		if err := writeFileWith(o.metricsOut, rep.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote metrics report to %s\n", o.metricsOut)
+	}
+	if o.metricsCSV != "" {
+		if err := writeFileWith(o.metricsCSV, rep.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote metrics CSV to %s\n", o.metricsCSV)
+	}
+	return nil
+}
+
+// writeFileWith creates path and streams write into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := trace.WriteChrome(f, rec); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("\nwrote %d trace events to %s (load at ui.perfetto.dev)\n", rec.Len(), out)
-	return nil
+	return f.Close()
 }
 
 // parseThreadList parses "1,2,4" into thread levels.
@@ -128,11 +237,11 @@ func parseThreadList(s string) ([]int, error) {
 }
 
 // report prints one run's statistics.
-func report(appName string, nodes, threads int, size string, st cvm.Stats) error {
-	fmt.Printf("%s on %d nodes x %d threads (%s input): result verified against sequential reference\n\n",
+func report(out io.Writer, appName string, nodes, threads int, size string, st cvm.Stats) error {
+	fmt.Fprintf(out, "%s on %d nodes x %d threads (%s input): result verified against sequential reference\n\n",
 		appName, nodes, threads, size)
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "steady-state wall time\t%v\n", st.Wall)
 	fmt.Fprintf(tw, "user time (all nodes)\t%v\n", st.Total.UserTime)
 	fmt.Fprintf(tw, "barrier wait\t%v\n", st.Total.BarrierWait)

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cvm/internal/metrics"
+)
+
+// runErr runs the command line and returns its error.
+func runErr(args ...string) error {
+	var out bytes.Buffer
+	return run(args, &out)
+}
+
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative trace-limit", []string{"-trace-limit", "-1", "-trace", "x.json"}, "-trace-limit"},
+		{"malformed trace-limit", []string{"-trace-limit", "two"}, "invalid value"},
+		{"negative metrics-interval", []string{"-metrics-interval", "-5ms", "-report"}, "-metrics-interval"},
+		{"malformed metrics-interval", []string{"-metrics-interval", "soon"}, "invalid value"},
+		{"zero metrics-top", []string{"-metrics-top", "0", "-report"}, "-metrics-top"},
+		{"positional args", []string{"-app", "sor", "extra"}, "unexpected arguments"},
+		{"bad threads", []string{"-threads", "0"}, "bad -threads"},
+		{"bad threads list", []string{"-threads", "1,x"}, "bad -threads"},
+		{"unknown app", []string{"-app", "nosuch", "-size", "test"}, "nosuch"},
+		{"sweep with trace", []string{"-threads", "1,2", "-trace", "x.json"}, "single -threads level"},
+		{"sweep with report", []string{"-threads", "1,2", "-report"}, "single -threads level"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := runErr(tc.args...)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %q, want it to contain %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestMetricsRunEmitsReadableReport runs a small instrumented simulation
+// end to end: the JSON report parses, carries every node, and the text
+// report prints the profile sections.
+func TestMetricsRunEmitsReadableReport(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "prof.json")
+	csvPath := filepath.Join(dir, "prof.csv")
+
+	var out bytes.Buffer
+	err := run([]string{"-app", "sor", "-nodes", "2", "-threads", "2", "-size", "test",
+		"-report", "-metrics", jsonPath, "-metrics-csv", csvPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, section := range []string{
+		"wall-time breakdown", "latency histograms", "hottest pages", "utilization timeline",
+	} {
+		if !strings.Contains(out.String(), section) {
+			t.Errorf("-report output is missing %q section", section)
+		}
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := metrics.ReadReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Snapshot.Nodes) != 2 {
+		t.Errorf("report has %d nodes, want 2", len(rep.Snapshot.Nodes))
+	}
+	if rep.Snapshot.Nodes[0].UserBurst.Count == 0 {
+		t.Error("report carries no user-burst observations")
+	}
+
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "scope,metric,count,") {
+		t.Errorf("CSV header missing: %q", string(csv[:40]))
+	}
+}
+
+// TestMetricsRunDeterministic asserts two identical instrumented runs
+// write byte-identical JSON reports.
+func TestMetricsRunDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	emit := func(name string) []byte {
+		path := filepath.Join(dir, name)
+		var out bytes.Buffer
+		if err := run([]string{"-app", "sor", "-nodes", "2", "-threads", "2",
+			"-size", "test", "-metrics", path}, &out); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if !bytes.Equal(emit("a.json"), emit("b.json")) {
+		t.Fatal("repeated runs wrote different metrics reports")
+	}
+}

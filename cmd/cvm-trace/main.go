@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,25 +29,37 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cvm-trace:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cvm-trace", flag.ContinueOnError)
 	var (
-		appName = flag.String("app", "sor", "application: "+strings.Join(apps.Names(), ", "))
-		nodes   = flag.Int("nodes", 8, "number of nodes (processors)")
-		threads = flag.Int("threads", 2, "application threads per node")
-		size    = flag.String("size", "test", "input scale: test, small, paper")
-		out     = flag.String("out", "", "write Chrome trace-event JSON to this file")
-		report  = flag.Bool("report", false, "print the latency report (p50/p95/p99 per event class)")
-		limit   = flag.Int("limit", 0, "per-node event ring bound (0 = unbounded; oldest events drop first)")
+		appName = fs.String("app", "sor", "application: "+strings.Join(apps.Names(), ", "))
+		nodes   = fs.Int("nodes", 8, "number of nodes (processors)")
+		threads = fs.Int("threads", 2, "application threads per node")
+		size    = fs.String("size", "test", "input scale: test, small, paper")
+		outPath = fs.String("out", "", "write Chrome trace-event JSON to this file")
+		report  = fs.Bool("report", false, "print the latency report (p50/p95/p99 per event class)")
+		limit   = fs.Int("limit", 0, "per-node event ring bound (0 = unbounded; oldest events drop first)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if *limit < 0 {
+		return fmt.Errorf("-limit must be >= 0, got %d", *limit)
+	}
+	if *nodes < 1 || *threads < 1 {
+		return fmt.Errorf("-nodes and -threads must be >= 1, got %d and %d", *nodes, *threads)
+	}
 
-	if *out == "" && !*report {
+	if *outPath == "" && !*report {
 		return fmt.Errorf("nothing to do: pass -out trace.json and/or -report")
 	}
 	sz, err := apps.ParseSize(*size)
@@ -61,15 +74,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s on %d nodes x %d threads (%s input): %v steady-state wall time, %d events",
+	fmt.Fprintf(out, "%s on %d nodes x %d threads (%s input): %v steady-state wall time, %d events",
 		*appName, *nodes, *threads, *size, st.Wall, rec.Len())
 	if d := rec.Dropped(); d > 0 {
-		fmt.Printf(" (%d dropped by -limit %d)", d, *limit)
+		fmt.Fprintf(out, " (%d dropped by -limit %d)", d, *limit)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 
-	if *out != "" {
-		f, err := os.Create(*out)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
 		if err != nil {
 			return err
 		}
@@ -80,11 +93,11 @@ func run() error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (load at ui.perfetto.dev or chrome://tracing)\n", *out)
+		fmt.Fprintf(out, "wrote %s (load at ui.perfetto.dev or chrome://tracing)\n", *outPath)
 	}
 	if *report {
-		fmt.Println()
-		if err := trace.AnalyzeRecorder(rec).Write(os.Stdout); err != nil {
+		fmt.Fprintln(out)
+		if err := trace.AnalyzeRecorder(rec).Write(out); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative limit", []string{"-limit", "-1", "-report"}, "-limit"},
+		{"malformed limit", []string{"-limit", "many"}, "invalid value"},
+		{"zero nodes", []string{"-nodes", "0", "-report"}, "-nodes"},
+		{"zero threads", []string{"-threads", "0", "-report"}, "-threads"},
+		{"positional args", []string{"-report", "extra"}, "unexpected arguments"},
+		{"nothing to do", []string{"-app", "sor"}, "nothing to do"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(tc.args, &out)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %q, want it to contain %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReportRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-app", "sor", "-nodes", "2", "-threads", "2",
+		"-size", "test", "-report"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "steady-state wall time") {
+		t.Errorf("report output missing summary line: %q", out.String())
+	}
+}

@@ -38,6 +38,7 @@ import (
 
 	"cvm/internal/core"
 	"cvm/internal/memsim"
+	"cvm/internal/metrics"
 	"cvm/internal/netsim"
 	"cvm/internal/sim"
 	"cvm/internal/trace"
@@ -71,6 +72,16 @@ type (
 	NetParams = netsim.Params
 	// MemParams are cache/TLB geometry parameters.
 	MemParams = memsim.Params
+	// Metrics is the virtual-time metrics registry; create one with
+	// NewMetrics, set it on Config.Metrics, and read the collected
+	// histograms and hot-spot attribution with its Snapshot method after
+	// the run. See internal/metrics for the report and compare tooling.
+	Metrics = metrics.Registry
+	// MetricsSnapshot is the serializable state of a Metrics registry.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsReport is a run profile derived from a snapshot (hot-page
+	// and hot-lock tables included), with JSON/CSV/text writers.
+	MetricsReport = metrics.Report
 )
 
 // Re-exported constants.
@@ -93,6 +104,16 @@ const (
 // the given shape.
 func DefaultConfig(nodes, threadsPerNode int) Config {
 	return core.DefaultConfig(nodes, threadsPerNode)
+}
+
+// NewMetrics returns a metrics registry ready to set on Config.Metrics.
+// One registry serves exactly one cluster.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// NewMetricsReport derives a report (top-N hot-spot tables included)
+// from a snapshot; see metrics.NewReport.
+func NewMetricsReport(app, config string, snap *MetricsSnapshot, topN int) *MetricsReport {
+	return metrics.NewReport(metrics.Meta{App: app, Config: config}, snap, topN)
 }
 
 // Cluster is a simulated CVM cluster ready to allocate shared memory and

@@ -38,6 +38,7 @@ func (t *Thread) Barrier(id int) {
 	n := t.node
 	b := n.barrierAt(id)
 	b.arrived++
+	a0 := t.task.Now() // arrival instant, for the BarrierStall metric
 	if tr := t.sys.tracer; tr != nil {
 		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindBarrierArrive,
 			Node: int32(n.id), Thread: int32(t.gid), Sync: int32(id)})
@@ -45,6 +46,9 @@ func (t *Thread) Barrier(id int) {
 	if b.arrived < n.sys.cfg.ThreadsPerNode {
 		b.waiters = append(b.waiters, t)
 		t.block(ReasonBarrier)
+		if nm := n.met; nm != nil {
+			nm.BarrierStall.Observe(int64(t.task.Now() - a0))
+		}
 		return
 	}
 
@@ -62,6 +66,9 @@ func (t *Thread) Barrier(id int) {
 			sys.barrierArrival(id, mgr, vt)
 		})
 		t.block(ReasonBarrier)
+		if nm := n.met; nm != nil {
+			nm.BarrierStall.Observe(int64(t.task.Now() - a0))
+		}
 		return
 	}
 	infos := n.ownInfosSince() // manager learns our new intervals
@@ -72,6 +79,9 @@ func (t *Thread) Barrier(id int) {
 			sys.barrierArrival(id, n.id, vt)
 		})
 	t.block(ReasonBarrier)
+	if nm := n.met; nm != nil {
+		nm.BarrierStall.Observe(int64(t.task.Now() - a0))
+	}
 }
 
 // ownInfosSince returns the node's own intervals not yet shipped to the
@@ -151,6 +161,7 @@ func (t *Thread) LocalBarrier(id int) {
 	key := localBarrierKeyBase + id
 	b := n.barrierAt(key)
 	b.arrived++
+	a0 := t.task.Now()
 	if tr := t.sys.tracer; tr != nil {
 		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindBarrierArrive,
 			Node: int32(n.id), Thread: int32(t.gid), Sync: int32(id), Aux: 1})
@@ -158,12 +169,18 @@ func (t *Thread) LocalBarrier(id int) {
 	if b.arrived < n.sys.cfg.ThreadsPerNode {
 		b.waiters = append(b.waiters, t)
 		t.block(ReasonBarrier)
+		if nm := n.met; nm != nil {
+			nm.LocalBarrierStall.Observe(int64(t.task.Now() - a0))
+		}
 		return
 	}
 	waiters := b.waiters
 	b.waiters = nil
 	b.arrived = 0
 	t.task.Advance(t.sys.cfg.LocalBarrierCost)
+	if nm := n.met; nm != nil {
+		nm.LocalBarrierStall.Observe(int64(t.task.Now() - a0))
+	}
 	if tr := t.sys.tracer; tr != nil {
 		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindBarrierRelease,
 			Node: int32(n.id), Thread: int32(t.gid), Sync: int32(id), Aux: 1})

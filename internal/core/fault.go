@@ -16,7 +16,8 @@ type faultState struct {
 	outstanding int
 	diffs       []*Diff
 	waiters     []*Thread
-	ready       bool // all replies received; applier may proceed
+	ready       bool     // all replies received; applier may proceed
+	start       sim.Time // fault-span open (before signal delivery), for FaultService
 }
 
 // ensureAccess makes the page accessible for the requested access kind,
@@ -85,14 +86,21 @@ func (t *Thread) remoteFault(p *page) {
 	if fs := p.fault; fs != nil {
 		n.stats.BlockSamePage++
 		fs.waiters = append(fs.waiters, t)
+		wstart := t.task.Now()
 		t.block(ReasonFault)
+		if nm := n.met; nm != nil {
+			d := t.task.Now() - wstart
+			nm.FaultThreadWait.Observe(int64(d))
+			t.sys.met.PageFaultWait(int32(p.id), d)
+		}
 		return
 	}
 
 	// The fault span opens before signal delivery is charged, matching
 	// the paper's accounting of the ~1100µs remote fault path.
+	fstart := t.task.Now()
 	if tr := t.sys.tracer; tr != nil {
-		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindFaultStart,
+		tr.Emit(trace.Event{T: fstart, Kind: trace.KindFaultStart,
 			Node: int32(n.id), Thread: int32(t.gid), Page: int32(p.id)})
 	}
 	t.task.Advance(cfg.SignalCost)
@@ -100,6 +108,9 @@ func (t *Thread) remoteFault(p *page) {
 	if len(ranges) == 0 {
 		// Raced with a completing fetch; nothing is missing anymore.
 		p.state = validState(p)
+		if nm := n.met; nm != nil {
+			nm.FaultService.Observe(int64(t.task.Now() - fstart))
+		}
 		if tr := t.sys.tracer; tr != nil {
 			tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindFaultResolve,
 				Node: int32(n.id), Thread: int32(t.gid), Page: int32(p.id)})
@@ -107,7 +118,7 @@ func (t *Thread) remoteFault(p *page) {
 		return
 	}
 
-	fs := &faultState{page: p, ranges: ranges, outstanding: len(ranges)}
+	fs := &faultState{page: p, ranges: ranges, outstanding: len(ranges), start: fstart}
 	p.fault = fs
 	n.stats.RemoteFaults++
 	n.stats.OutstandingFaults += int64(n.inFlightFaults)
@@ -137,7 +148,13 @@ func (t *Thread) remoteFault(p *page) {
 	}
 
 	fs.waiters = append(fs.waiters, t)
+	wstart := t.task.Now()
 	t.block(ReasonFault)
+	if nm := n.met; nm != nil {
+		d := t.task.Now() - wstart
+		nm.FaultThreadWait.Observe(int64(d))
+		t.sys.met.PageFaultWait(int32(p.id), d)
+	}
 
 	if p.fault == fs && fs.ready && fs.waiters[0] == t {
 		t.applyFault(fs)
@@ -183,6 +200,9 @@ func (t *Thread) applyFault(fs *faultState) {
 		p.state = validState(p)
 	} // else: a write notice arrived mid-fetch; stay invalid and re-fault.
 
+	if nm := n.met; nm != nil {
+		nm.FaultService.Observe(int64(t.task.Now() - fs.start))
+	}
 	if tr := t.sys.tracer; tr != nil {
 		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindFaultResolve,
 			Node: int32(n.id), Thread: int32(t.gid), Page: int32(p.id),

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cvm/internal/netsim"
+	"cvm/internal/sim"
 	"cvm/internal/trace"
 )
 
@@ -22,8 +23,16 @@ type lockState struct {
 	requested bool   // remote request in flight
 	nextNode  int    // node to hand the token to after the local queue drains
 	nextVT    VClock // the pending remote requester's vector time
+	nextHops  uint8  // hop count of the pending remote request
 
 	mgrLast int // manager's record of the last requesting node
+
+	// reqStart/grantHops time the in-flight remote acquire for the
+	// Lock2Hop/Lock3Hop metrics: the grant records its hop count (2 when
+	// the manager held or was asked by the token holder, 3 when it
+	// forwarded), classifying exactly as the trace analyzer does.
+	reqStart  sim.Time
+	grantHops uint8
 }
 
 func (n *node) lockAt(id int) *lockState {
@@ -63,7 +72,13 @@ func (t *Thread) Lock(id int) {
 		n.stats.BlockSameLock++
 		n.stats.LocalLockAcquires++
 		l.localQ = append(l.localQ, t)
+		wstart := t.task.Now()
 		t.block(ReasonLock)
+		if nm := n.met; nm != nil {
+			d := t.task.Now() - wstart
+			nm.LockLocalWait.Observe(int64(d))
+			t.sys.met.LockAcquireWait(int32(id), d)
+		}
 		// Woken as the holder (set by the releaser or the grant).
 		t.traceLockAcquire(id, true)
 
@@ -75,12 +90,22 @@ func (t *Thread) Lock(id int) {
 		n.stats.OutstandingLocks += int64(n.inFlightLocks)
 		n.inFlightLocks++
 		l.localQ = append(l.localQ, t)
+		l.reqStart = t.task.Now()
 		if tr := t.sys.tracer; tr != nil {
 			tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindLockRequest,
 				Node: int32(n.id), Thread: int32(t.gid), Sync: int32(id)})
 		}
 		t.sendLockRequest(l)
 		t.block(ReasonLock)
+		if nm := n.met; nm != nil {
+			d := t.task.Now() - l.reqStart
+			if l.grantHops == 3 {
+				nm.Lock3Hop.Observe(int64(d))
+			} else {
+				nm.Lock2Hop.Observe(int64(d))
+			}
+			t.sys.met.LockAcquireWait(int32(id), d)
+		}
 		t.traceLockAcquire(id, false)
 	}
 }
@@ -117,7 +142,9 @@ func (t *Thread) sendLockRequest(l *lockState) {
 		l.mgrLast = n.id
 		sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(last),
 			netsim.ClassLock, bytes, func() {
-				sys.nodes[last].handleLockHandoff(l.id, n.id, reqVT)
+				// Two messages total (request straight to the holder,
+				// grant back): the 2-hop path, no manager forward.
+				sys.nodes[last].handleLockHandoff(l.id, n.id, reqVT, 2)
 			})
 		return
 	}
@@ -136,7 +163,7 @@ func (n *node) handleLockManagerRequest(id, from int, reqVT VClock) {
 	last := l.mgrLast
 	l.mgrLast = from
 	if last == n.id {
-		n.handleLockHandoff(id, from, reqVT)
+		n.handleLockHandoff(id, from, reqVT, 2)
 		return
 	}
 	sys := n.sys
@@ -149,17 +176,17 @@ func (n *node) handleLockManagerRequest(id, from int, reqVT VClock) {
 	}
 	sys.net.SendFromHandler(netsim.NodeID(n.id), netsim.NodeID(last),
 		netsim.ClassLock, lockMsgBytes+reqVT.wireBytes(), func() {
-			sys.nodes[last].handleLockHandoff(id, from, reqVT)
+			sys.nodes[last].handleLockHandoff(id, from, reqVT, 3)
 		})
 }
 
 // handleLockHandoff runs at the node that last requested the token
 // (engine context): grant immediately if the token is free, otherwise
 // remember the requester for release time.
-func (n *node) handleLockHandoff(id, to int, reqVT VClock) {
+func (n *node) handleLockHandoff(id, to int, reqVT VClock, hops uint8) {
 	l := n.lockAt(id)
 	if l.token && l.heldBy == nil && len(l.localQ) == 0 && !l.requested {
-		n.grantLock(l, to, reqVT)
+		n.grantLock(l, to, reqVT, hops)
 		return
 	}
 	if l.nextNode >= 0 {
@@ -167,12 +194,13 @@ func (n *node) handleLockHandoff(id, to int, reqVT VClock) {
 	}
 	l.nextNode = to
 	l.nextVT = reqVT
+	l.nextHops = hops
 }
 
 // grantLock sends the token (with piggybacked write notices) to a remote
 // requester. It runs in engine context; grants issued from a releasing
 // thread go through releaseRemote.
-func (n *node) grantLock(l *lockState, to int, reqVT VClock) {
+func (n *node) grantLock(l *lockState, to int, reqVT VClock, hops uint8) {
 	l.token = false
 	infos := n.newInfosSince(reqVT)
 	bytes := lockMsgBytes + n.vt.wireBytes() + infosBytes(infos)
@@ -180,15 +208,16 @@ func (n *node) grantLock(l *lockState, to int, reqVT VClock) {
 	sys := n.sys
 	sys.net.SendFromHandler(netsim.NodeID(n.id), netsim.NodeID(to),
 		netsim.ClassLock, bytes, func() {
-			sys.nodes[to].handleLockGrant(l.id, infos, vt)
+			sys.nodes[to].handleLockGrant(l.id, infos, vt, hops)
 		})
 }
 
 // handleLockGrant runs at the original requester (engine context): apply
 // the piggybacked consistency information and hand the lock to the first
 // queued local thread.
-func (n *node) handleLockGrant(id int, infos []*IntervalInfo, senderVT VClock) {
+func (n *node) handleLockGrant(id int, infos []*IntervalInfo, senderVT VClock, hops uint8) {
 	l := n.lockAt(id)
+	l.grantHops = hops
 	n.applyInfos(infos, senderVT)
 	if tr := n.sys.tracer; tr != nil {
 		tr.Emit(trace.Event{T: n.sys.eng.Now(), Kind: trace.KindLockGrant,
@@ -229,8 +258,8 @@ func (t *Thread) Unlock(id int) {
 	}
 	l.heldBy = nil
 	if l.nextNode >= 0 {
-		to, vt := l.nextNode, l.nextVT
-		l.nextNode, l.nextVT = -1, nil
+		to, vt, hops := l.nextNode, l.nextVT, l.nextHops
+		l.nextNode, l.nextVT, l.nextHops = -1, nil, 0
 		l.token = false
 		infos := n.newInfosSince(vt)
 		bytes := lockMsgBytes + n.vt.wireBytes() + infosBytes(infos)
@@ -238,7 +267,7 @@ func (t *Thread) Unlock(id int) {
 		sys := t.sys
 		sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(to),
 			netsim.ClassLock, bytes, func() {
-				sys.nodes[to].handleLockGrant(id, infos, myVT)
+				sys.nodes[to].handleLockGrant(id, infos, myVT, hops)
 			})
 	}
 	// Otherwise the token stays cached here, free.

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"cvm/internal/memsim"
+	"cvm/internal/metrics"
 	"cvm/internal/sim"
 	"cvm/internal/trace"
 )
@@ -35,6 +36,10 @@ type node struct {
 
 	threads []*Thread
 	stats   NodeStats
+
+	// met is this node's metrics view (nil when metrics are off); hot
+	// paths guard every observation with one nil check, like sys.tracer.
+	met *metrics.NodeMetrics
 }
 
 func newNode(sys *System, id int, proc *sim.Proc, mem *memsim.System) *node {
@@ -50,6 +55,9 @@ func newNode(sys *System, id int, proc *sim.Proc, mem *memsim.System) *node {
 		barriers:  make(map[int]*nodeBarrier),
 		reduces:   make(map[int]*nodeReduce),
 		swdir:     make(map[PageID]*swDir),
+	}
+	if sys.met != nil {
+		n.met = sys.met.Node(id)
 	}
 	proc.SetHooks(sim.ProcHooks{
 		OnSwitch:  n.onSwitch,
@@ -87,15 +95,32 @@ func (n *node) onIdleEnd(start, end sim.Time, task *sim.Task) {
 	switch task.BlockReason() {
 	case ReasonFault:
 		n.stats.FaultWait += d
+		if nm := n.met; nm != nil {
+			nm.FaultIdle.Observe(int64(d))
+			n.sys.met.TimelineAdd(n.id, start, end, metrics.TimelineFault)
+		}
 	case ReasonLock:
 		n.stats.LockWait += d
+		if nm := n.met; nm != nil {
+			nm.LockIdle.Observe(int64(d))
+			n.sys.met.TimelineAdd(n.id, start, end, metrics.TimelineLock)
+		}
 	case ReasonBarrier:
 		n.stats.BarrierWait += d
+		if nm := n.met; nm != nil {
+			nm.BarrierIdle.Observe(int64(d))
+			n.sys.met.TimelineAdd(n.id, start, end, metrics.TimelineBarrier)
+		}
 	}
 }
 
 func (n *node) onSlice(task *sim.Task, start, end sim.Time) {
 	n.stats.UserTime += end - start
+	if nm := n.met; nm != nil {
+		nm.UserBurst.Observe(int64(end - start))
+		nm.RunQueue.Observe(int64(n.proc.QueueLen()))
+		n.sys.met.TimelineAdd(n.id, start, end, metrics.TimelineUser)
+	}
 }
 
 // pageAt returns the node's view of pg, creating it lazily. Under the
@@ -165,6 +190,9 @@ func (n *node) closeInterval(t *Thread) {
 			Runs: MakeDiff(pg, p.twin, p.data),
 		}
 		n.storeDiff(d)
+		if nm := n.met; nm != nil {
+			nm.DiffBytes.Observe(int64(d.Bytes()))
+		}
 		n.sys.recyclePageBuf(p.twin)
 		p.twin = nil
 		if t != nil {

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"cvm/internal/netsim"
+	"cvm/internal/sim"
 	"cvm/internal/trace"
 )
 
@@ -60,6 +61,7 @@ type swReq struct {
 type swFault struct {
 	waiters []*Thread
 	done    bool
+	start   sim.Time // fault-span open, for the FaultService metric
 }
 
 func (n *node) swDirFor(pg PageID) *swDir {
@@ -87,14 +89,20 @@ func (t *Thread) swEnsureAccess(p *page, write bool) {
 			if f := p.swf; f != nil {
 				n.stats.BlockSamePage++
 				f.waiters = append(f.waiters, t)
+				wstart := t.task.Now()
 				t.block(ReasonFault)
+				if nm := n.met; nm != nil {
+					d := t.task.Now() - wstart
+					nm.FaultThreadWait.Observe(int64(d))
+					t.sys.met.PageFaultWait(int32(p.id), d)
+				}
 				continue
 			}
 			t.task.Advance(cfg.SignalCost)
 			if p.state != PageInvalid && !(write && p.state == PageReadOnly) {
 				continue // raced with a completing transaction
 			}
-			f := &swFault{}
+			f := &swFault{start: t.task.Now()}
 			p.swf = f
 			f.waiters = append(f.waiters, t)
 			if tr := t.sys.tracer; tr != nil {
@@ -121,7 +129,13 @@ func (t *Thread) swEnsureAccess(p *page, write bool) {
 						sys.nodes[mgr].swHandleRequest(p.id, req)
 					})
 			}
+			wstart := t.task.Now()
 			t.block(ReasonFault)
+			if nm := n.met; nm != nil {
+				d := t.task.Now() - wstart
+				nm.FaultThreadWait.Observe(int64(d))
+				t.sys.met.PageFaultWait(int32(p.id), d)
+			}
 			// Completion installed the page and cleared p.swf; loop to
 			// validate the new access rights.
 		}
@@ -255,6 +269,9 @@ func (n *node) swComplete(p *page) {
 	}
 	p.swf = nil
 	n.inFlightFaults--
+	if nm := n.met; nm != nil {
+		nm.FaultService.Observe(int64(n.sys.eng.Now() - f.start))
+	}
 	if tr := n.sys.tracer; tr != nil {
 		tr.Emit(trace.Event{T: n.sys.eng.Now(), Kind: trace.KindFaultResolve,
 			Node: int32(n.id), Thread: -1, Page: int32(p.id)})

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"cvm/internal/memsim"
+	"cvm/internal/metrics"
 	"cvm/internal/netsim"
 	"cvm/internal/sim"
 	"cvm/internal/trace"
@@ -57,6 +58,14 @@ type Config struct {
 	// and no allocation. Use trace.NewRecorder and the trace exporters
 	// to capture and analyze a run.
 	Tracer trace.Tracer
+
+	// Metrics, when non-nil, collects virtual-time histograms, per-page
+	// and per-lock wait attribution, and the utilization timeline. Like
+	// Tracer, every hot-path observation sits behind a nil check, so a
+	// nil Metrics costs one branch and no allocation, and observing
+	// never advances virtual time — results are bit-identical with
+	// metrics on or off. A Registry serves exactly one System.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper's cluster calibration for the given
@@ -121,6 +130,10 @@ type System struct {
 	// tracer mirrors cfg.Tracer; hot paths nil-check this field.
 	tracer trace.Tracer
 
+	// met mirrors cfg.Metrics; hot paths nil-check the per-node
+	// *metrics.NodeMetrics instead where one exists.
+	met *metrics.Registry
+
 	// pageBufs recycles page-sized byte buffers. Twins churn hardest —
 	// one allocation per write-collection episode per page — and every
 	// closed interval frees one; page copies draw from the same pool.
@@ -167,8 +180,18 @@ func NewSystem(cfg Config) (*System, error) {
 		reduceEpisodes: make(map[int]*reduceEpisode),
 		threadByTask:   make(map[int]*Thread),
 		tracer:         cfg.Tracer,
+		met:            cfg.Metrics,
 	}
 	s.net.SetTracer(cfg.Tracer)
+	if s.met != nil {
+		classes := netsim.Classes()
+		names := make([]string, len(classes))
+		for i, c := range classes {
+			names[i] = c.String()
+		}
+		s.met.Configure(cfg.Nodes, names)
+		s.net.SetMetrics(s.met.Net())
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		proc := eng.AddProc(cfg.SwitchCost)
 		proc.SetLIFO(cfg.LIFOScheduler)
@@ -260,6 +283,15 @@ func (t *Thread) MarkSteadyState() {
 	for _, n := range s.nodes {
 		n.stats = NodeStats{}
 		n.mem.ResetStats()
+	}
+	if s.met != nil {
+		// Metrics reset at the same instant as the statistics, so
+		// histogram sums keep reconciling exactly with NodeStats.
+		s.met.Reset(s.t0)
+		s.net.SetMetrics(s.met.Net())
+		for _, n := range s.nodes {
+			n.met = s.met.Node(n.id)
+		}
 	}
 }
 

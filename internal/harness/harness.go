@@ -66,18 +66,9 @@ func RunGrid(appNames []string, size apps.Size, shapes []Shape, progress io.Writ
 // merged in deterministic grid order and are bit-identical at any worker
 // count (see TestRunGridParallelDeterminism).
 func RunGridParallel(appNames []string, size apps.Size, shapes []Shape, progress io.Writer, workers int) (Results, error) {
-	jobs := make([]Key, 0, len(appNames)*len(shapes))
-	for _, name := range appNames {
-		for _, sh := range shapes {
-			app, err := apps.New(name, size)
-			if err != nil {
-				return nil, err
-			}
-			if !app.SupportsThreads(sh.Threads) {
-				continue
-			}
-			jobs = append(jobs, Key{name, sh.Nodes, sh.Threads})
-		}
+	jobs, err := gridJobs(appNames, size, shapes)
+	if err != nil {
+		return nil, err
 	}
 
 	sink := newProgressSink(progress)
@@ -99,6 +90,25 @@ func RunGridParallel(appNames []string, size apps.Size, shapes []Shape, progress
 		res[k] = stats[i]
 	}
 	return res, nil
+}
+
+// gridJobs expands a grid into its runnable cells, skipping shapes an
+// application does not support.
+func gridJobs(appNames []string, size apps.Size, shapes []Shape) ([]Key, error) {
+	jobs := make([]Key, 0, len(appNames)*len(shapes))
+	for _, name := range appNames {
+		for _, sh := range shapes {
+			app, err := apps.New(name, size)
+			if err != nil {
+				return nil, err
+			}
+			if !app.SupportsThreads(sh.Threads) {
+				continue
+			}
+			jobs = append(jobs, Key{name, sh.Nodes, sh.Threads})
+		}
+	}
+	return jobs, nil
 }
 
 // GridShapes builds the cross product of node counts and thread levels.

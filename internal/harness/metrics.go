@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"cvm"
+	"cvm/internal/apps"
+	"cvm/internal/metrics"
+)
+
+// RunGridMetricsParallel is RunGridParallel with a metrics registry
+// attached to every cell. Each cell gets its own fresh registry (a
+// Registry must not be shared between systems); the per-cell snapshots
+// are merged in deterministic job order — runJobs returns results in job
+// order regardless of worker count — so the aggregate snapshot, and
+// every report built from it, is bit-identical at any parallelism.
+// interval sets the utilization-timeline bin width (≤ 0 = default).
+func RunGridMetricsParallel(appNames []string, size apps.Size, shapes []Shape, progress io.Writer, workers int, interval cvm.Time) (Results, *metrics.Snapshot, error) {
+	jobs, err := gridJobs(appNames, size, shapes)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	type cell struct {
+		stats cvm.Stats
+		snap  *metrics.Snapshot
+	}
+	sink := newProgressSink(progress)
+	defer sink.Close()
+	cells, err := runJobs(jobs, workers, func(k Key) (cell, error) {
+		sink.Printf("running %s %dx%d...\n", k.App, k.Nodes, k.Threads)
+		reg := metrics.NewRegistry()
+		if interval > 0 {
+			reg.SetInterval(interval)
+		}
+		cfg := cvm.DefaultConfig(k.Nodes, k.Threads)
+		cfg.Metrics = reg
+		st, err := apps.RunConfig(k.App, size, cfg)
+		if err != nil {
+			return cell{}, fmt.Errorf("harness: %s %dx%d: %w", k.App, k.Nodes, k.Threads, err)
+		}
+		return cell{st, reg.Snapshot()}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := make(Results, len(jobs))
+	agg := &metrics.Snapshot{}
+	for i, k := range jobs {
+		res[k] = cells[i].stats
+		agg.Merge(cells[i].snap)
+	}
+	return res, agg, nil
+}

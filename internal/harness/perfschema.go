@@ -1,0 +1,45 @@
+package harness
+
+import "encoding/json"
+
+// PerfBaseline is the schema of BENCH_harness.json: an end-to-end
+// sequential-vs-parallel harness comparison plus hot-path
+// microbenchmarks. cvm-bench's perf experiment writes it; cvm-metrics
+// compare reads it to gate allocation and throughput regressions.
+type PerfBaseline struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Size       string `json:"size"`
+
+	Grid PerfGrid `json:"grid"`
+
+	Micro []MicroResult `json:"micro"`
+}
+
+// PerfGrid is the grid-throughput portion of a perf baseline.
+type PerfGrid struct {
+	Cells       int     `json:"cells"`
+	Workers     int     `json:"workers"`
+	SeqSeconds  float64 `json:"seq_seconds"`
+	ParSeconds  float64 `json:"par_seconds"`
+	SeqCellsSec float64 `json:"seq_cells_per_sec"`
+	ParCellsSec float64 `json:"par_cells_per_sec"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"results_identical"`
+}
+
+// MicroResult is one microbenchmark's time and allocation cost.
+type MicroResult struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// ReadPerfBaseline parses a BENCH_harness.json payload.
+func ReadPerfBaseline(data []byte) (*PerfBaseline, error) {
+	var b PerfBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Finding severities.
+const (
+	LevelWarn = "warn"
+	LevelFail = "fail"
+)
+
+// Finding is one regression detected by CompareReports.
+type Finding struct {
+	Level string // LevelWarn or LevelFail
+	Path  string // metric path, e.g. "node0/lock_2hop/mean"
+	Base  int64
+	Cur   int64
+	Msg   string
+}
+
+// CompareOpts tunes the regression gate.
+type CompareOpts struct {
+	// LatencyTol is the allowed relative increase of a histogram mean
+	// before a latency finding (0.25 = +25%).
+	LatencyTol float64
+	// CountTol is the allowed relative drift (either direction) of a
+	// histogram count before a count finding. Counts are deterministic,
+	// so the default of zero demands exact equality.
+	CountTol float64
+	// HardLatency escalates latency findings from warn to fail.
+	HardLatency bool
+}
+
+// DefaultCompareOpts is the gate used by `cvm-metrics compare` and CI:
+// counts must match exactly (the simulator is deterministic), latency
+// drifts beyond 25% warn.
+var DefaultCompareOpts = CompareOpts{LatencyTol: 0.25, CountTol: 0}
+
+// CompareReports diffs cur against base, returning findings sorted by
+// severity then path. Count mismatches and structural changes (a metric
+// disappearing) are failures; mean increases beyond LatencyTol are
+// warnings unless HardLatency. New metrics in cur are allowed silently.
+func CompareReports(base, cur *Report, opts CompareOpts) []Finding {
+	var fs []Finding
+
+	bh := flattenHists(base.Snapshot)
+	ch := flattenHists(cur.Snapshot)
+	for _, path := range sortedKeys(bh) {
+		b := bh[path]
+		c, ok := ch[path]
+		if !ok {
+			fs = append(fs, Finding{LevelFail, path, b.Count, 0,
+				"metric missing from current report"})
+			continue
+		}
+		if exceeds(b.Count, c.Count, opts.CountTol) || exceeds(c.Count, b.Count, opts.CountTol) {
+			fs = append(fs, Finding{LevelFail, path + "/count", b.Count, c.Count,
+				fmt.Sprintf("count drift beyond %.0f%% (runs are deterministic)", opts.CountTol*100)})
+		}
+		if b.Count > 0 && c.Count > 0 && exceeds(b.Mean(), c.Mean(), opts.LatencyTol) {
+			lvl := LevelWarn
+			if opts.HardLatency {
+				lvl = LevelFail
+			}
+			fs = append(fs, Finding{lvl, path + "/mean", b.Mean(), c.Mean(),
+				fmt.Sprintf("mean increased beyond %.0f%%", opts.LatencyTol*100)})
+		}
+	}
+
+	bc := flattenCounters(base.Snapshot)
+	cc := flattenCounters(cur.Snapshot)
+	for _, name := range sortedKeys(bc) {
+		b := bc[name]
+		c, ok := cc[name]
+		if !ok {
+			fs = append(fs, Finding{LevelFail, name, b, 0, "counter missing from current report"})
+		} else if exceeds(b, c, opts.CountTol) || exceeds(c, b, opts.CountTol) {
+			fs = append(fs, Finding{LevelFail, name, b, c,
+				fmt.Sprintf("counter drift beyond %.0f%%", opts.CountTol*100)})
+		}
+	}
+
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Level != fs[j].Level {
+			return fs[i].Level == LevelFail
+		}
+		return fs[i].Path < fs[j].Path
+	})
+	return fs
+}
+
+// exceeds reports whether cur grew past base by more than tol (relative,
+// with an absolute floor so tiny bases don't trip on ±1ns noise).
+func exceeds(base, cur int64, tol float64) bool {
+	if cur <= base {
+		return false
+	}
+	allowed := float64(base) * tol
+	if allowed < 1 {
+		allowed = tol // tol==0 still demands exact equality
+	}
+	return float64(cur-base) > allowed
+}
+
+func flattenHists(s *Snapshot) map[string]*Histogram {
+	m := make(map[string]*Histogram)
+	s.histograms(func(scope, name string, h *Histogram) {
+		m[scope+"/"+name] = h
+	})
+	return m
+}
+
+func flattenCounters(s *Snapshot) map[string]int64 {
+	m := make(map[string]int64)
+	s.counters(func(name string, c *Counter) {
+		m[name] = int64(*c)
+	})
+	return m
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -12,6 +12,7 @@ package netsim
 import (
 	"fmt"
 
+	"cvm/internal/metrics"
 	"cvm/internal/sim"
 	"cvm/internal/trace"
 )
@@ -133,8 +134,9 @@ type Network struct {
 	ingressFree []sim.Time // per-node time the ingress frees up
 
 	stats  Stats
-	tracer trace.Tracer // nil when tracing is off
-	msgID  int64        // trace message id linking send to delivery
+	tracer trace.Tracer        // nil when tracing is off
+	met    *metrics.NetMetrics // nil when metrics are off
+	msgID  int64               // trace message id linking send to delivery
 }
 
 // New returns a network connecting nodes 0..nodes-1.
@@ -156,6 +158,11 @@ func (n *Network) Params() Params { return n.params }
 // id for flow rendering.
 func (n *Network) SetTracer(tr trace.Tracer) { n.tracer = tr }
 
+// SetMetrics installs per-class latency/queueing histograms (nil
+// disables them). The metrics must be sized for Classes() — the system
+// configures them from the same class list.
+func (n *Network) SetMetrics(m *metrics.NetMetrics) { n.met = m }
+
 // Stats returns a snapshot of the per-class traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
 
@@ -174,6 +181,9 @@ func (n *Network) SendFromTask(t *sim.Task, from, to NodeID, class Class, bytes 
 	}
 	t.Advance(n.params.SendOverhead)
 	depart := maxTime(t.Now(), n.egressFree[from])
+	if n.met != nil {
+		n.met.EgressWait[class].Observe(int64(depart - t.Now()))
+	}
 	depart += n.params.transfer(bytes)
 	n.egressFree[from] = depart
 	handlerAt := n.arrival(depart, from, to, class, bytes)
@@ -190,6 +200,9 @@ func (n *Network) SendFromHandler(from, to NodeID, class Class, bytes int, deliv
 		panic("netsim: SendFromHandler with from == to")
 	}
 	depart := maxTime(n.eng.Now(), n.egressFree[from])
+	if n.met != nil {
+		n.met.EgressWait[class].Observe(int64(depart - n.eng.Now()))
+	}
 	depart += n.params.SendOverhead + n.params.transfer(bytes)
 	n.egressFree[from] = depart
 	handlerAt := n.arrival(depart, from, to, class, bytes)
@@ -204,6 +217,10 @@ func (n *Network) arrival(depart sim.Time, from, to NodeID, class Class, bytes i
 	arrive := depart + n.params.WireLatency
 	handlerAt := maxTime(arrive, n.ingressFree[to]) + n.params.RecvOverhead
 	n.ingressFree[to] = handlerAt
+	if n.met != nil {
+		n.met.Latency[class].Observe(int64(handlerAt - depart))
+		n.met.IngressWait[class].Observe(int64(handlerAt - n.params.RecvOverhead - arrive))
+	}
 	if n.tracer != nil {
 		n.msgID++
 		n.tracer.Emit(trace.Event{T: depart, Kind: trace.KindMsgSend,

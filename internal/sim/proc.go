@@ -61,6 +61,11 @@ func (p *Proc) SetHooks(h ProcHooks) { p.hooks = h }
 // paper's §5 "approach closer to LIFO than FIFO"). Default is FIFO.
 func (p *Proc) SetLIFO(lifo bool) { p.lifo = lifo }
 
+// QueueLen reports the number of ready tasks waiting in the run queue
+// (excluding the task currently selected to run). Hooks read it for
+// scheduler-occupancy metrics.
+func (p *Proc) QueueLen() int { return len(p.runq) }
+
 // runnable reports whether the proc has work and is therefore a dispatch
 // candidate.
 func (p *Proc) runnable() bool { return p.current != nil || len(p.runq) > 0 }
