@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race golden-trace bench-smoke metrics-gate metrics-baseline perf-baseline
+.PHONY: check vet build test race golden-trace bench-smoke chaos metrics-gate metrics-baseline perf-baseline
 
 ## check: the pre-commit gate (mirrors .github/workflows/ci.yml) — vet,
 ## build, race-test everything, verify the golden trace, a one-iteration
-## pass over every benchmark so the perf kernels stay honest, and the
-## metrics regression gate against the committed baseline.
-check: vet build race golden-trace bench-smoke metrics-gate
+## pass over every benchmark so the perf kernels stay honest, the chaos
+## suite under fault injection, and the metrics regression gate against
+## the committed baseline.
+check: vet build race golden-trace bench-smoke chaos metrics-gate
 	@echo "check: OK"
 
 vet:
@@ -31,6 +32,13 @@ golden-trace:
 ## panic or assert-fail without paying for stable timings.
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+## chaos: the fault-injection suite — every app across the drop-rate
+## table plus the fixed-corpus schedule fuzzer, all with the protocol
+## invariant checker attached. Failures write violation reports into
+## chaos-artifacts/.
+chaos:
+	CHAOS_ARTIFACT_DIR=chaos-artifacts $(GO) test ./internal/chaos ./internal/check -count=1
 
 ## metrics-gate: re-run the baseline workload and compare its metrics
 ## report against the committed BASELINE_metrics.json. The simulator is

@@ -13,8 +13,17 @@
 // -threads accepts a comma-separated list; the resulting configurations
 // are independent simulations and run concurrently across -parallel
 // worker goroutines (0 = all CPUs). Instrumented runs (-trace, -metrics,
-// -metrics-csv, -report) need a single -threads level; tracing and
-// metrics can be combined in one run.
+// -metrics-csv, -report, -check) need a single -threads level; tracing,
+// metrics and the invariant checker can be combined in one run.
+//
+// -faults injects deterministic network and node faults, e.g.
+//
+//	cvm-run -app sor -size test -faults 'drop=0.01,dup=0.001' -fault-seed 7
+//
+// The run must still verify against the sequential reference; the
+// report gains a transport section (retransmits, suppressed duplicates).
+// -check attaches the protocol invariant checker and fails the run on
+// any violation.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 
 	"cvm"
 	"cvm/internal/apps"
+	"cvm/internal/check"
 	"cvm/internal/harness"
 	"cvm/internal/netsim"
 	"cvm/internal/trace"
@@ -56,6 +66,10 @@ func run(args []string, out io.Writer) error {
 		showReport  = fs.Bool("report", false, "print the human-readable metrics profile (histograms, hot pages/locks, timeline)")
 		metricsBin  = fs.Duration("metrics-interval", 0, "utilization-timeline bin width in virtual time (0 = default 10ms)")
 		metricsTopN = fs.Int("metrics-top", 10, "rows kept in the hot-page and hot-lock tables")
+
+		faults    = fs.String("faults", "", "deterministic fault spec, e.g. 'drop=0.01,dup=0.001,reorder=0.005,jitter=100us,pause=1:5ms:2ms'")
+		faultSeed = fs.Uint64("fault-seed", 1, "fault-schedule seed (same spec + seed = same schedule, byte for byte)")
+		checkRun  = fs.Bool("check", false, "attach the protocol invariant checker; any violation fails the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +86,19 @@ func run(args []string, out io.Writer) error {
 	if *metricsTopN < 1 {
 		return fmt.Errorf("-metrics-top must be >= 1, got %d", *metricsTopN)
 	}
+	var fp *cvm.FaultPlan
+	if *faults != "" {
+		var err error
+		if fp, err = cvm.ParseFaults(*faults, *faultSeed); err != nil {
+			return err
+		}
+	} else {
+		seedSet := false
+		fs.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "fault-seed" })
+		if seedSet {
+			return fmt.Errorf("-fault-seed needs -faults")
+		}
+	}
 
 	sz, err := apps.ParseSize(*size)
 	if err != nil {
@@ -83,9 +110,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	wantMetrics := *metricsOut != "" || *metricsCSV != "" || *showReport
-	if *traceOut != "" || wantMetrics {
+	if *traceOut != "" || wantMetrics || *checkRun {
 		if len(levels) != 1 {
-			return fmt.Errorf("-trace/-metrics/-report need a single -threads level, got %q", *threads)
+			return fmt.Errorf("-trace/-metrics/-report/-check need a single -threads level, got %q", *threads)
 		}
 		return runInstrumented(out, instrumentOpts{
 			app: *appName, size: sz, sizeName: *size,
@@ -94,13 +121,21 @@ func run(args []string, out io.Writer) error {
 			metricsOut: *metricsOut, metricsCSV: *metricsCSV,
 			report: *showReport, wantMetrics: wantMetrics,
 			interval: cvm.Time((*metricsBin).Nanoseconds()), topN: *metricsTopN,
+			faults: fp, check: *checkRun,
 		})
 	}
 
 	// The sweep's cells are independent simulations; fan them out over
 	// the harness worker pool and print each report in thread order.
+	// Faults, when requested, apply the one shared read-only plan to
+	// every cell; each cell's schedule is keyed on its own simulation
+	// state, so the sweep stays deterministic at any -parallel level.
 	shapes := harness.GridShapes([]int{*nodes}, levels)
-	res, err := harness.RunGridParallel([]string{*appName}, sz, shapes, nil, *parallel)
+	var mut func(harness.Key, *cvm.Config)
+	if fp != nil {
+		mut = func(_ harness.Key, cfg *cvm.Config) { cfg.Faults = fp }
+	}
+	res, err := harness.RunGridConfig([]string{*appName}, sz, shapes, mut, nil, *parallel)
 	if err != nil {
 		return err
 	}
@@ -115,6 +150,11 @@ func run(args []string, out io.Writer) error {
 		}
 		if err := report(out, *appName, *nodes, t, *size, st); err != nil {
 			return err
+		}
+		if fp != nil {
+			if err := reportTransport(out, st); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -138,6 +178,9 @@ type instrumentOpts struct {
 	wantMetrics bool
 	interval    cvm.Time
 	topN        int
+
+	faults *cvm.FaultPlan
+	check  bool
 }
 
 // runInstrumented executes one simulation with tracing and/or metrics
@@ -146,10 +189,20 @@ type instrumentOpts struct {
 // compose without perturbing each other or the run.
 func runInstrumented(out io.Writer, o instrumentOpts) error {
 	cfg := cvm.DefaultConfig(o.nodes, o.threads)
+	cfg.Faults = o.faults
 	var rec *trace.Recorder
 	if o.traceOut != "" {
 		rec = trace.NewRecorder(o.nodes, o.threads, o.traceLimit)
 		cfg.Tracer = rec
+	}
+	var chk *check.Checker
+	if o.check {
+		chk = check.New(o.nodes, o.threads)
+		if rec != nil {
+			cfg.Tracer = trace.Tee(rec, chk)
+		} else {
+			cfg.Tracer = chk
+		}
 	}
 	var reg *cvm.Metrics
 	if o.wantMetrics {
@@ -166,6 +219,21 @@ func runInstrumented(out io.Writer, o instrumentOpts) error {
 	}
 	if err := report(out, o.app, o.nodes, o.threads, o.sizeName, st); err != nil {
 		return err
+	}
+	if o.faults != nil {
+		if err := reportTransport(out, st); err != nil {
+			return err
+		}
+	}
+	if chk != nil {
+		chk.Finish()
+		if n := chk.Count(); n != 0 {
+			var b strings.Builder
+			chk.Report(&b)
+			fmt.Fprint(out, b.String())
+			return fmt.Errorf("invariant checker found %d violation(s)", n)
+		}
+		fmt.Fprintln(out, "\ninvariant checker: no violations")
 	}
 
 	if rec != nil {
@@ -234,6 +302,17 @@ func parseThreadList(s string) ([]int, error) {
 		levels = append(levels, t)
 	}
 	return levels, nil
+}
+
+// reportTransport prints the reliable-transport counters of a faulted
+// run: how often the retransmission machinery fired and how many
+// duplicate deliveries the dedupe layer absorbed.
+func reportTransport(out io.Writer, st cvm.Stats) error {
+	fmt.Fprintln(out)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "retransmits\t%d\n", st.Total.Retransmits)
+	fmt.Fprintf(tw, "duplicates suppressed\t%d\n", st.Total.DupsSuppressed)
+	return tw.Flush()
 }
 
 // report prints one run's statistics.

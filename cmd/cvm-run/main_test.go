@@ -33,6 +33,10 @@ func TestFlagValidation(t *testing.T) {
 		{"unknown app", []string{"-app", "nosuch", "-size", "test"}, "nosuch"},
 		{"sweep with trace", []string{"-threads", "1,2", "-trace", "x.json"}, "single -threads level"},
 		{"sweep with report", []string{"-threads", "1,2", "-report"}, "single -threads level"},
+		{"sweep with check", []string{"-threads", "1,2", "-check"}, "single -threads level"},
+		{"bad fault spec", []string{"-faults", "drop=2"}, "drop"},
+		{"unknown fault item", []string{"-faults", "frobnicate=1"}, "frobnicate"},
+		{"seed without faults", []string{"-fault-seed", "7"}, "-fault-seed needs -faults"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			err := runErr(tc.args...)
@@ -89,6 +93,41 @@ func TestMetricsRunEmitsReadableReport(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(csv), "scope,metric,count,") {
 		t.Errorf("CSV header missing: %q", string(csv[:40]))
+	}
+}
+
+// TestFaultedRunReportsTransport runs a faulted, checked simulation end
+// to end: the result still verifies, the report gains the transport
+// section with retransmissions observed, and the invariant checker
+// comes back clean.
+func TestFaultedRunReportsTransport(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-app", "sor", "-nodes", "4", "-threads", "2", "-size", "test",
+		"-faults", "drop=0.02,dup=0.01", "-fault-seed", "9", "-check"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"retransmits", "duplicates suppressed", "invariant checker: no violations"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("faulted run output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "retransmits  0\n") {
+		t.Errorf("2%% drop run reported zero retransmits:\n%s", out.String())
+	}
+}
+
+// TestFaultedSweepRuns exercises the sweep path under faults: every
+// level reports, each with its transport section.
+func TestFaultedSweepRuns(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-app", "sor", "-nodes", "2", "-threads", "1,2", "-size", "test",
+		"-faults", "drop=0.01"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "duplicates suppressed"); got != 2 {
+		t.Errorf("sweep printed %d transport sections, want 2:\n%s", got, out.String())
 	}
 }
 

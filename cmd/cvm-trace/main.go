@@ -14,6 +14,12 @@
 // (handler) context and tracks 1..T are the node's application threads.
 // Thread switches are drawn as flow arrows, remote faults and lock
 // acquires as spans, messages as flow arrows between nodes.
+//
+// -faults injects a deterministic fault schedule; the trace then also
+// shows injected drops/duplicates (fault-inject category) and the
+// transport's retransmissions and duplicate suppressions. -check
+// additionally attaches the protocol invariant checker and fails the
+// run on any violation.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 
 	"cvm"
 	"cvm/internal/apps"
+	"cvm/internal/check"
 	"cvm/internal/trace"
 )
 
@@ -45,6 +52,10 @@ func run(args []string, out io.Writer) error {
 		outPath = fs.String("out", "", "write Chrome trace-event JSON to this file")
 		report  = fs.Bool("report", false, "print the latency report (p50/p95/p99 per event class)")
 		limit   = fs.Int("limit", 0, "per-node event ring bound (0 = unbounded; oldest events drop first)")
+
+		faults    = fs.String("faults", "", "deterministic fault spec, e.g. 'drop=0.01,dup=0.001' (injected events appear in the trace)")
+		faultSeed = fs.Uint64("fault-seed", 1, "fault-schedule seed (same spec + seed = same schedule, byte for byte)")
+		checkRun  = fs.Bool("check", false, "attach the protocol invariant checker; any violation fails the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +69,19 @@ func run(args []string, out io.Writer) error {
 	if *nodes < 1 || *threads < 1 {
 		return fmt.Errorf("-nodes and -threads must be >= 1, got %d and %d", *nodes, *threads)
 	}
+	var fp *cvm.FaultPlan
+	if *faults != "" {
+		var err error
+		if fp, err = cvm.ParseFaults(*faults, *faultSeed); err != nil {
+			return err
+		}
+	} else {
+		seedSet := false
+		fs.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "fault-seed" })
+		if seedSet {
+			return fmt.Errorf("-fault-seed needs -faults")
+		}
+	}
 
 	if *outPath == "" && !*report {
 		return fmt.Errorf("nothing to do: pass -out trace.json and/or -report")
@@ -70,6 +94,12 @@ func run(args []string, out io.Writer) error {
 	rec := trace.NewRecorder(*nodes, *threads, *limit)
 	cfg := cvm.DefaultConfig(*nodes, *threads)
 	cfg.Tracer = rec
+	cfg.Faults = fp
+	var chk *check.Checker
+	if *checkRun {
+		chk = check.New(*nodes, *threads)
+		cfg.Tracer = trace.Tee(rec, chk)
+	}
 	st, err := apps.RunConfig(*appName, sz, cfg)
 	if err != nil {
 		return err
@@ -80,6 +110,20 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, " (%d dropped by -limit %d)", d, *limit)
 	}
 	fmt.Fprintln(out)
+	if fp != nil {
+		fmt.Fprintf(out, "transport: %d retransmits, %d duplicates suppressed\n",
+			st.Total.Retransmits, st.Total.DupsSuppressed)
+	}
+	if chk != nil {
+		chk.Finish()
+		if n := chk.Count(); n != 0 {
+			var b strings.Builder
+			chk.Report(&b)
+			fmt.Fprint(out, b.String())
+			return fmt.Errorf("invariant checker found %d violation(s)", n)
+		}
+		fmt.Fprintln(out, "invariant checker: no violations")
+	}
 
 	if *outPath != "" {
 		f, err := os.Create(*outPath)

@@ -82,7 +82,31 @@ type (
 	// MetricsReport is a run profile derived from a snapshot (hot-page
 	// and hot-lock tables included), with JSON/CSV/text writers.
 	MetricsReport = metrics.Report
+	// FaultPlan configures deterministic fault injection (network
+	// drop/duplication/reordering/jitter plus node pause and slowdown
+	// windows); set on Config.Faults. Parse the -faults flag syntax with
+	// ParseFaults. See internal/core's faultplan.go for the model.
+	FaultPlan = core.FaultPlan
+	// NodePause suspends one node's compute for a virtual-time window.
+	NodePause = core.NodePause
+	// NodeSlowdown dilates one node's compute by a factor for a window.
+	NodeSlowdown = core.NodeSlowdown
+	// FaultParams is the network-level fault model (per-class
+	// probabilities and jitter, keyed by a deterministic seed).
+	FaultParams = netsim.FaultParams
 )
+
+// ErrTransport is wrapped by the error a run returns when fault
+// injection defeats the retry budget (the network was effectively dead).
+var ErrTransport = core.ErrTransport
+
+// ParseFaults builds a FaultPlan from the compact comma-separated syntax
+// the -faults command-line flag accepts, e.g.
+// "drop=0.01,dup=0.001,jitter=500us". seed keys the fault PRNG; the same
+// (spec, seed) pair reproduces the same fault schedule bit for bit.
+func ParseFaults(spec string, seed uint64) (*FaultPlan, error) {
+	return core.ParseFaultPlan(spec, seed)
+}
 
 // Re-exported constants.
 const (

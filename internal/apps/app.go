@@ -14,6 +14,7 @@ package apps
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"cvm"
@@ -65,6 +66,12 @@ type App interface {
 	// Check validates the parallel result against the sequential
 	// reference, returning an error on mismatch.
 	Check() error
+
+	// Checksum returns the run's computed checksum (valid after Main
+	// completes on all threads). The chaos suite compares it across
+	// fault schedules: retransmission only perturbs virtual timing, so
+	// a faulted run must reproduce the fault-free checksum exactly.
+	Checksum() float64
 }
 
 // factory builds a fresh App for one run.
@@ -139,6 +146,17 @@ func (t *tolerance) checkClose(name string, got, want float64) error {
 	}
 	return nil
 }
+
+// qfix rounds x to the nearest multiple of 2^-32, the fixed-point grid
+// shared accumulators use. Residual and energy sums are accumulated
+// across threads in lock-grant (or thread-schedule) order, and that
+// order legally shifts when fault injection perturbs virtual timing;
+// with every addend on the grid and every partial sum well inside
+// float64's 53-bit exact range, the additions are exact and therefore
+// associative — the total is bit-identical under any fault schedule,
+// which is the chaos suite's correctness oracle. The quantization error
+// (≤ 2^-33 per addend) is far inside the sequential-reference tolerance.
+func qfix(x float64) float64 { return math.Round(x*(1<<32)) / (1 << 32) }
 
 // lcg is a small deterministic pseudo-random generator for initial data.
 type lcg uint64

@@ -241,6 +241,9 @@ func (b *Barnes) Main(w *cvm.Worker) {
 }
 
 // Check implements App.
+// Checksum returns the computed mass-weighted position checksum.
+func (b *Barnes) Checksum() float64 { return b.checksum }
+
 func (b *Barnes) Check() error {
 	return b.checkClose("barnes", b.checksum, b.reference())
 }

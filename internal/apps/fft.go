@@ -165,6 +165,9 @@ func (f *FFT) fftRows(w *cvm.Worker, mat cvm.F64Matrix, lo, hi int, re, im, row 
 }
 
 // Check implements App.
+// Checksum returns the computed transform checksum.
+func (f *FFT) Checksum() float64 { return f.checksum }
+
 func (f *FFT) Check() error {
 	return f.checkClose("fft", f.checksum, f.reference())
 }

@@ -173,7 +173,7 @@ func (o *Ocean) Main(w *cvm.Worker) {
 			}
 			o.r.SetRowRange(w, i, jLo, rc)
 		})
-		o.nodeResid[w.NodeID()] += local
+		o.nodeResid[w.NodeID()] += qfix(local)
 		o.nodeCnt[w.NodeID()]++
 		w.LocalBarrier(1)
 		if o.nodeCnt[w.NodeID()] == w.LocalThreads() {
@@ -276,6 +276,9 @@ func (o *Ocean) Main(w *cvm.Worker) {
 }
 
 // Check implements App.
+// Checksum returns the computed grid checksum.
+func (o *Ocean) Checksum() float64 { return o.checksum }
+
 func (o *Ocean) Check() error {
 	return o.checkClose("ocean", o.checksum, o.reference())
 }

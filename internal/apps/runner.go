@@ -24,30 +24,39 @@ func RunConfig(name string, size Size, cfg cvm.Config) (cvm.Stats, error) {
 // floating-point accumulation order; the result is the same computation
 // reassociated, which can drift past the default bound.
 func RunConfigTol(name string, size Size, cfg cvm.Config, tol float64) (cvm.Stats, error) {
+	stats, _, err := RunConfigFull(name, size, cfg, tol)
+	return stats, err
+}
+
+// RunConfigFull is RunConfigTol returning the run's checksum alongside
+// the statistics. The chaos suite uses the checksum as its correctness
+// oracle: a run under any fault schedule must reproduce the fault-free
+// checksum bit for bit.
+func RunConfigFull(name string, size Size, cfg cvm.Config, tol float64) (cvm.Stats, float64, error) {
 	app, err := New(name, size)
 	if err != nil {
-		return cvm.Stats{}, err
+		return cvm.Stats{}, 0, err
 	}
 	if tol > 0 {
 		app.(toleranceSetter).setCheckTol(tol)
 	}
 	if !app.SupportsThreads(cfg.ThreadsPerNode) {
-		return cvm.Stats{}, fmt.Errorf("apps: %s does not support %d threads per node",
+		return cvm.Stats{}, 0, fmt.Errorf("apps: %s does not support %d threads per node",
 			name, cfg.ThreadsPerNode)
 	}
 	cluster, err := cvm.New(cfg)
 	if err != nil {
-		return cvm.Stats{}, err
+		return cvm.Stats{}, 0, err
 	}
 	if err := app.Setup(cluster); err != nil {
-		return cvm.Stats{}, err
+		return cvm.Stats{}, 0, err
 	}
 	stats, err := cluster.Run(app.Main)
 	if err != nil {
-		return cvm.Stats{}, fmt.Errorf("apps: %s run: %w", name, err)
+		return cvm.Stats{}, 0, fmt.Errorf("apps: %s run: %w", name, err)
 	}
 	if err := app.Check(); err != nil {
-		return cvm.Stats{}, fmt.Errorf("apps: %s check: %w", name, err)
+		return cvm.Stats{}, app.Checksum(), fmt.Errorf("apps: %s check: %w", name, err)
 	}
-	return stats, nil
+	return stats, app.Checksum(), nil
 }

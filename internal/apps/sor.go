@@ -119,6 +119,9 @@ func (s *SOR) Main(w *cvm.Worker) {
 }
 
 // Check implements App.
+// Checksum returns the computed grid checksum.
+func (s *SOR) Checksum() float64 { return s.checksum }
+
 func (s *SOR) Check() error {
 	return s.checkClose("sor", s.checksum, s.reference())
 }

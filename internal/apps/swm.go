@@ -149,6 +149,9 @@ func (s *SWM) Main(w *cvm.Worker) {
 }
 
 // Check implements App.
+// Checksum returns the computed field checksum.
+func (s *SWM) Checksum() float64 { return s.checksum }
+
 func (s *SWM) Check() error {
 	return s.checkClose("swm750", s.checksum, s.reference())
 }

@@ -231,13 +231,13 @@ func (a *WaterNsq) Main(w *cvm.Worker) {
 				w.Lock(molLock(m))
 				a.mol.RowRange(w, m, fForce, f3[:])
 				for d := 0; d < 3; d++ {
-					f3[d] += contrib[3*m+d]
+					f3[d] += qfix(contrib[3*m+d])
 				}
 				a.mol.SetRowRange(w, m, fForce, f3[:])
 				w.Unlock(molLock(m))
 			}
 			w.Lock(0)
-			a.epot.Add(w, 0, localEpot)
+			a.epot.Add(w, 0, qfix(localEpot))
 			w.Unlock(0)
 
 		default:
@@ -250,10 +250,10 @@ func (a *WaterNsq) Main(w *cvm.Worker) {
 					continue
 				}
 				for d := 0; d < 3; d++ {
-					nf[3*m+d] += contrib[3*m+d]
+					nf[3*m+d] += qfix(contrib[3*m+d])
 				}
 			}
-			a.nodeEpot[w.NodeID()] += localEpot
+			a.nodeEpot[w.NodeID()] += qfix(localEpot)
 			w.Compute(cvm.Time(a.n) * 30)
 			w.LocalBarrier(1)
 
@@ -334,6 +334,9 @@ func forEachOwned(lo, hi int, descending bool, fn func(i int)) {
 }
 
 // Check implements App.
+// Checksum returns the computed energy checksum.
+func (a *WaterNsq) Checksum() float64 { return a.checksum }
+
 func (a *WaterNsq) Check() error {
 	return a.checkClose(a.Name(), a.checksum, a.reference())
 }

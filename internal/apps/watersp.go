@@ -239,7 +239,7 @@ func (a *WaterSp) Main(w *cvm.Worker) {
 		}
 
 		// Potential energy: node aggregation, one lock episode per node.
-		a.nodeEpot[w.NodeID()] += localEpot
+		a.nodeEpot[w.NodeID()] += qfix(localEpot)
 		a.nodeCnt[w.NodeID()]++
 		w.LocalBarrier(1)
 		if a.nodeCnt[w.NodeID()] == w.LocalThreads() {
@@ -289,6 +289,9 @@ func (a *WaterSp) Main(w *cvm.Worker) {
 }
 
 // Check implements App.
+// Checksum returns the computed energy checksum.
+func (a *WaterSp) Checksum() float64 { return a.checksum }
+
 func (a *WaterSp) Check() error {
 	return a.checkClose("watersp", a.checksum, a.reference())
 }

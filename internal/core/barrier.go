@@ -73,7 +73,7 @@ func (t *Thread) Barrier(id int) {
 	}
 	infos := n.ownInfosSince() // manager learns our new intervals
 	bytes := barrierMsgBytes + vt.wireBytes() + infosBytes(infos)
-	sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
+	sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
 		netsim.ClassBarrier, bytes, func() {
 			sys.nodes[mgr].applyInfos(infos, nil)
 			sys.barrierArrival(id, n.id, vt)
@@ -125,7 +125,7 @@ func (s *System) barrierArrival(id, from int, vt VClock) {
 		infos := mgr.newInfosSince(ep.arrivalVT[nodeID])
 		bytes := barrierMsgBytes + mgr.vt.wireBytes() + infosBytes(infos)
 		mgrVT := mgr.vt.Clone()
-		s.net.SendFromHandler(netsim.NodeID(0), netsim.NodeID(nodeID),
+		s.sendFromHandler(netsim.NodeID(0), netsim.NodeID(nodeID),
 			netsim.ClassBarrier, bytes, func() {
 				n := s.nodes[nodeID]
 				n.applyInfos(infos, mgrVT)

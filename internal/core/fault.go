@@ -129,11 +129,11 @@ func (t *Thread) remoteFault(p *page) {
 	for _, r := range ranges {
 		r := r
 		target := sys.nodes[r.node]
-		sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(r.node),
+		sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(r.node),
 			netsim.ClassDiff, diffRequestBytes, func() {
 				target.serveDiffRequest(p.id, r.from, r.to, func(ds []*Diff, bytes int, service sim.Time) {
 					sys.eng.Schedule(sys.eng.Now()+service, func() {
-						sys.net.SendFromHandler(netsim.NodeID(r.node), netsim.NodeID(n.id),
+						sys.sendFromHandler(netsim.NodeID(r.node), netsim.NodeID(n.id),
 							netsim.ClassDiff, bytes, func() {
 								fs.diffs = append(fs.diffs, ds...)
 								fs.outstanding--

@@ -140,7 +140,7 @@ func (t *Thread) sendLockRequest(l *lockState) {
 		// (The token cannot be here: the fast path would have taken it.)
 		last := l.mgrLast
 		l.mgrLast = n.id
-		sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(last),
+		sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(last),
 			netsim.ClassLock, bytes, func() {
 				// Two messages total (request straight to the holder,
 				// grant back): the 2-hop path, no manager forward.
@@ -148,7 +148,7 @@ func (t *Thread) sendLockRequest(l *lockState) {
 			})
 		return
 	}
-	sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
+	sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
 		netsim.ClassLock, bytes, func() {
 			sys.nodes[mgr].handleLockManagerRequest(l.id, n.id, reqVT)
 		})
@@ -174,7 +174,7 @@ func (n *node) handleLockManagerRequest(id, from int, reqVT VClock) {
 			Node: int32(n.id), Thread: -1, Sync: int32(id),
 			Peer: int32(last), Arg: int64(from)})
 	}
-	sys.net.SendFromHandler(netsim.NodeID(n.id), netsim.NodeID(last),
+	sys.sendFromHandler(netsim.NodeID(n.id), netsim.NodeID(last),
 		netsim.ClassLock, lockMsgBytes+reqVT.wireBytes(), func() {
 			sys.nodes[last].handleLockHandoff(id, from, reqVT, 3)
 		})
@@ -206,7 +206,7 @@ func (n *node) grantLock(l *lockState, to int, reqVT VClock, hops uint8) {
 	bytes := lockMsgBytes + n.vt.wireBytes() + infosBytes(infos)
 	vt := n.vt.Clone()
 	sys := n.sys
-	sys.net.SendFromHandler(netsim.NodeID(n.id), netsim.NodeID(to),
+	sys.sendFromHandler(netsim.NodeID(n.id), netsim.NodeID(to),
 		netsim.ClassLock, bytes, func() {
 			sys.nodes[to].handleLockGrant(l.id, infos, vt, hops)
 		})
@@ -265,7 +265,7 @@ func (t *Thread) Unlock(id int) {
 		bytes := lockMsgBytes + n.vt.wireBytes() + infosBytes(infos)
 		myVT := n.vt.Clone()
 		sys := t.sys
-		sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(to),
+		sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(to),
 			netsim.ClassLock, bytes, func() {
 				sys.nodes[to].handleLockGrant(id, infos, myVT, hops)
 			})

@@ -83,7 +83,7 @@ func (t *Thread) ReduceF64(id int, v float64, op ReduceOp) float64 {
 		t.block(ReasonBarrier)
 		return r.result
 	}
-	sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
+	sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
 		netsim.ClassBarrier, reduceMsgBytes, func() {
 			sys.reduceArrival(id, contribution, op)
 		})
@@ -112,7 +112,7 @@ func (s *System) reduceArrival(id int, v float64, op ReduceOp) {
 	result := ep.acc
 	for nodeID := 1; nodeID < s.cfg.Nodes; nodeID++ {
 		nodeID := nodeID
-		s.net.SendFromHandler(netsim.NodeID(0), netsim.NodeID(nodeID),
+		s.sendFromHandler(netsim.NodeID(0), netsim.NodeID(nodeID),
 			netsim.ClassBarrier, reduceMsgBytes, func() {
 				s.nodes[nodeID].finishReduce(id, result)
 			})

@@ -29,6 +29,12 @@ type NodeStats struct {
 	DiffsUsed         int64 // diffs applied at this node
 	RacesDetected     int64 // overlapping concurrent diffs (Config.DetectRaces)
 
+	// Reliable-transport counters (all zero on a fault-free run):
+	// retransmissions sent by this node and replayed deliveries this node
+	// suppressed as duplicates.
+	Retransmits    int64
+	DupsSuppressed int64
+
 	// Time breakdown (Figure 1): user time includes all local consistency
 	// work; the waits are non-overlapped (node fully idle).
 	UserTime    sim.Time
@@ -56,6 +62,8 @@ func (s *NodeStats) Add(other NodeStats) {
 	s.DiffsCreated += other.DiffsCreated
 	s.DiffsUsed += other.DiffsUsed
 	s.RacesDetected += other.RacesDetected
+	s.Retransmits += other.Retransmits
+	s.DupsSuppressed += other.DupsSuppressed
 	s.UserTime += other.UserTime
 	s.FaultWait += other.FaultWait
 	s.LockWait += other.LockWait

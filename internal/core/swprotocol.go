@@ -124,7 +124,7 @@ func (t *Thread) swEnsureAccess(p *page, write bool) {
 					sys.nodes[mgr].swHandleRequest(p.id, req)
 				})
 			} else {
-				sys.net.SendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
+				sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
 					netsim.ClassDiff, swCtlBytes, func() {
 						sys.nodes[mgr].swHandleRequest(p.id, req)
 					})
@@ -288,7 +288,7 @@ func (n *node) swSend(to int, bytes int, fn func()) {
 		n.sys.eng.Schedule(n.sys.eng.Now(), fn)
 		return
 	}
-	n.sys.net.SendFromHandler(netsim.NodeID(n.id), netsim.NodeID(to),
+	n.sys.sendFromHandler(netsim.NodeID(n.id), netsim.NodeID(to),
 		netsim.ClassDiff, bytes, fn)
 }
 

@@ -66,6 +66,15 @@ type Config struct {
 	// never advances virtual time — results are bit-identical with
 	// metrics on or off. A Registry serves exactly one System.
 	Metrics *metrics.Registry
+
+	// Faults, when non-nil and active, injects deterministic failures:
+	// network drops/duplications/reordering/jitter (routed through the
+	// reliable transport so the protocol still completes correctly) and
+	// node pause/slowdown windows. nil means a perfectly reliable
+	// cluster, with zero added cost on any hot path. The same *FaultPlan
+	// may be shared across concurrently constructed systems — it is
+	// read-only.
+	Faults *FaultPlan
 }
 
 // DefaultConfig returns the paper's cluster calibration for the given
@@ -134,6 +143,11 @@ type System struct {
 	// *metrics.NodeMetrics instead where one exists.
 	met *metrics.Registry
 
+	// transport is the reliable message envelope, non-nil only when
+	// cfg.Faults enables network faults; every protocol send checks it
+	// via the sendFromTask/sendFromHandler wrappers.
+	transport *transport
+
 	// pageBufs recycles page-sized byte buffers. Twins churn hardest —
 	// one allocation per write-collection episode per page — and every
 	// closed interval frees one; page copies draw from the same pool.
@@ -198,7 +212,41 @@ func NewSystem(cfg Config) (*System, error) {
 		mem := memsim.NewSystem(cfg.Mem)
 		s.nodes = append(s.nodes, newNode(s, i, proc, mem))
 	}
+	if fp := cfg.Faults; fp != nil {
+		if err := fp.Validate(cfg.Nodes); err != nil {
+			return nil, err
+		}
+		if fp.Net.Active() {
+			net := fp.Net // private copy; the plan may be shared across systems
+			s.net.SetFaults(&net)
+			if s.met != nil {
+				s.net.SetFaultCounters(s.met.FaultCounters())
+			}
+			s.transport = newTransport(s, fp.RTO, fp.MaxRetries)
+		}
+		for _, p := range fp.Pauses {
+			s.nodes[p.Node].proc.InjectPause(p.From, p.To)
+		}
+		for _, sl := range fp.Slowdowns {
+			s.nodes[sl.Node].proc.InjectSlowdown(sl.From, sl.To, sl.Factor)
+		}
+	}
+	eng.SetReasonNamer(reasonName)
 	return s, nil
+}
+
+// reasonName names the core block reasons in engine deadlock reports.
+func reasonName(r sim.Reason) string {
+	switch r {
+	case ReasonFault:
+		return "fault"
+	case ReasonLock:
+		return "lock"
+	case ReasonBarrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("%d", int(r))
+	}
 }
 
 // Config returns the system's configuration.
@@ -261,13 +309,25 @@ func (s *System) Start(main func(*Thread)) error {
 	return nil
 }
 
-// Run executes the simulation to completion.
-func (s *System) Run() error {
-	err := s.eng.Run()
-	if err != nil {
-		s.eng.Shutdown()
-	}
-	return err
+// Run executes the simulation to completion. Under fault injection a
+// message that exhausts its retransmission budget aborts the run with
+// an error wrapping ErrTransport instead of hanging.
+func (s *System) Run() (err error) {
+	defer func() {
+		if err != nil {
+			s.eng.Shutdown()
+		}
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			tf, ok := r.(*transportFailure)
+			if !ok {
+				panic(r)
+			}
+			err = tf.error()
+		}
+	}()
+	return s.eng.Run()
 }
 
 func (s *System) threadOf(task *sim.Task) *Thread { return s.threadByTask[task.ID()] }

@@ -92,6 +92,44 @@ func RunGridParallel(appNames []string, size apps.Size, shapes []Shape, progress
 	return res, nil
 }
 
+// RunGridConfig is RunGridParallel with a per-cell configuration hook:
+// mut (when non-nil) runs on each cell's default configuration before
+// the cluster is built, so experiments can perturb any Config dimension
+// — most usefully Faults, which is how the chaos suite sweeps fault
+// schedules across the whole application grid. mut is called
+// concurrently from pool workers and must not write shared state; a
+// *FaultPlan may be shared across cells (systems copy what they need).
+func RunGridConfig(appNames []string, size apps.Size, shapes []Shape, mut func(Key, *cvm.Config), progress io.Writer, workers int) (Results, error) {
+	jobs, err := gridJobs(appNames, size, shapes)
+	if err != nil {
+		return nil, err
+	}
+
+	sink := newProgressSink(progress)
+	defer sink.Close()
+	stats, err := runJobs(jobs, workers, func(k Key) (cvm.Stats, error) {
+		sink.Printf("running %s %dx%d...\n", k.App, k.Nodes, k.Threads)
+		cfg := cvm.DefaultConfig(k.Nodes, k.Threads)
+		if mut != nil {
+			mut(k, &cfg)
+		}
+		st, err := apps.RunConfig(k.App, size, cfg)
+		if err != nil {
+			return cvm.Stats{}, fmt.Errorf("harness: %s %dx%d: %w", k.App, k.Nodes, k.Threads, err)
+		}
+		return st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := make(Results, len(jobs))
+	for i, k := range jobs {
+		res[k] = stats[i]
+	}
+	return res, nil
+}
+
 // gridJobs expands a grid into its runnable cells, skipping shapes an
 // application does not support.
 func gridJobs(appNames []string, size apps.Size, shapes []Shape) ([]Key, error) {

@@ -303,6 +303,16 @@ type Snapshot struct {
 	IntervalNs        Gauge           `json:"interval_ns"`
 	EpochNs           Gauge           `json:"epoch_ns"`
 	TimelineClippedNs Counter         `json:"timeline_clipped_ns"`
+
+	// Fault-injection and reliable-transport accounting. NetDropped and
+	// NetDuplicated count messages the fault model discarded or replicated
+	// at the network layer; Retransmits counts sender-side re-sends after
+	// an ack timeout; DupSuppressed counts replayed deliveries the
+	// receiver deduped. All stay zero on a fault-free run.
+	NetDropped    Counter `json:"net_dropped"`
+	NetDuplicated Counter `json:"net_duplicated"`
+	Retransmits   Counter `json:"retransmits"`
+	DupSuppressed Counter `json:"dup_suppressed"`
 }
 
 // Merge folds other into s field-by-field via reflection, so metrics
@@ -390,6 +400,20 @@ func (r *Registry) PageFaultWait(pg int32, d sim.Time) {
 func (r *Registry) LockAcquireWait(id int32, d sim.Time) {
 	attrAdd(r.snap.LockWait, id, d)
 }
+
+// FaultCounters exposes the network-layer fault counters for the fault
+// model to increment directly. The returned addresses are stable across
+// Reset (the snapshot is an embedded value), so they may be installed
+// once at system construction.
+func (r *Registry) FaultCounters() (dropped, dupped *Counter) {
+	return &r.snap.NetDropped, &r.snap.NetDuplicated
+}
+
+// CountRetransmit records one reliable-transport retransmission.
+func (r *Registry) CountRetransmit() { r.snap.Retransmits.Add(1) }
+
+// CountDupSuppressed records one deduped replayed delivery.
+func (r *Registry) CountDupSuppressed() { r.snap.DupSuppressed.Add(1) }
 
 func attrAdd(m map[int32]*WaitAttr, k int32, d sim.Time) {
 	a := m[k]

@@ -137,6 +137,15 @@ type Network struct {
 	tracer trace.Tracer        // nil when tracing is off
 	met    *metrics.NetMetrics // nil when metrics are off
 	msgID  int64               // trace message id linking send to delivery
+
+	// Fault model (nil when the network is reliable). chanIdx holds the
+	// per-directed-channel message counters keying the fault PRNG; fstats
+	// counts injected faults; the counters mirror drops/dups into the
+	// metrics snapshot.
+	faults           *FaultParams
+	chanIdx          []uint64
+	fstats           FaultStats
+	cDropped, cDupped *metrics.Counter
 }
 
 // New returns a network connecting nodes 0..nodes-1.
@@ -166,9 +175,13 @@ func (n *Network) SetMetrics(m *metrics.NetMetrics) { n.met = m }
 // Stats returns a snapshot of the per-class traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
 
-// ResetStats zeroes the traffic counters (used after the initialization
-// phase so tables reflect steady-state behaviour, as in the paper).
-func (n *Network) ResetStats() { n.stats = Stats{} }
+// ResetStats zeroes the traffic and injected-fault counters (used after
+// the initialization phase so tables reflect steady-state behaviour, as
+// in the paper).
+func (n *Network) ResetStats() {
+	n.stats = Stats{}
+	n.fstats = FaultStats{}
+}
 
 // SendFromTask transmits a message from the calling task's node. The
 // sender's CPU overhead is charged to the task; deliver runs in engine
@@ -186,7 +199,13 @@ func (n *Network) SendFromTask(t *sim.Task, from, to NodeID, class Class, bytes 
 	}
 	depart += n.params.transfer(bytes)
 	n.egressFree[from] = depart
-	handlerAt := n.arrival(depart, from, to, class, bytes)
+	if n.faults != nil {
+		// Task.Schedule (via the closure) lowers the sender's causality
+		// horizon exactly as the reliable path below does.
+		n.faultedSend(depart, from, to, class, bytes, deliver, t.Schedule)
+		return
+	}
+	handlerAt := n.arrival(depart, from, to, class, bytes, 0)
 	// Task.Schedule lowers the sender's causality horizon so the sender
 	// cannot run past the delivery before it is applied.
 	t.Schedule(handlerAt, deliver)
@@ -205,21 +224,30 @@ func (n *Network) SendFromHandler(from, to NodeID, class Class, bytes int, deliv
 	}
 	depart += n.params.SendOverhead + n.params.transfer(bytes)
 	n.egressFree[from] = depart
-	handlerAt := n.arrival(depart, from, to, class, bytes)
+	if n.faults != nil {
+		n.faultedSend(depart, from, to, class, bytes, deliver, n.eng.Schedule)
+		return
+	}
+	handlerAt := n.arrival(depart, from, to, class, bytes, 0)
 	n.eng.Schedule(handlerAt, deliver)
 }
 
 // arrival accounts the message and computes when its handler runs at the
-// receiver, serializing concurrent arrivals at the ingress.
-func (n *Network) arrival(depart sim.Time, from, to NodeID, class Class, bytes int) sim.Time {
+// receiver, serializing concurrent arrivals at the ingress. extra is
+// fault-injected delivery delay (jitter/reorder); it is applied after
+// the ingress serialization point so a delayed message does not
+// head-of-line-block traffic that physically arrived on time — which is
+// what lets later messages genuinely overtake it.
+func (n *Network) arrival(depart sim.Time, from, to NodeID, class Class, bytes int, extra sim.Time) sim.Time {
 	n.stats.Msgs[class]++
 	n.stats.Bytes[class] += int64(bytes)
 	arrive := depart + n.params.WireLatency
 	handlerAt := maxTime(arrive, n.ingressFree[to]) + n.params.RecvOverhead
 	n.ingressFree[to] = handlerAt
+	handlerAt += extra
 	if n.met != nil {
 		n.met.Latency[class].Observe(int64(handlerAt - depart))
-		n.met.IngressWait[class].Observe(int64(handlerAt - n.params.RecvOverhead - arrive))
+		n.met.IngressWait[class].Observe(int64(handlerAt - extra - n.params.RecvOverhead - arrive))
 	}
 	if n.tracer != nil {
 		n.msgID++

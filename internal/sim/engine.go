@@ -7,8 +7,17 @@ import (
 )
 
 // ErrDeadlock is returned by Engine.Run when live tasks remain but no
-// entity is runnable and no event is pending.
+// entity is runnable and no event is pending, or when the futile-event
+// watchdog concludes the event queue is self-perpetuating without ever
+// readying a task (a livelock — e.g. an unbounded retransmission timer
+// whose receiver is gone).
 var ErrDeadlock = errors.New("sim: deadlock")
+
+// defaultFutileLimit bounds how many consecutive events may run without
+// dispatching or waking any task before Run declares a livelock. Real
+// workloads ready a task every handful of events; a million futile
+// events is unambiguous pathology while staying cheap to count.
+const defaultFutileLimit = 1 << 20
 
 // Engine is a sequential discrete-event simulator. It owns the event queue
 // and all processors, and dispatches exactly one entity at a time in
@@ -25,12 +34,27 @@ type Engine struct {
 	tasks   []*Task
 	reports chan report
 	running bool
+
+	wakes       uint64 // total WakeAt calls, for the futile-event watchdog
+	futileLimit int
+	reasonName  func(Reason) string
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{reports: make(chan report)}
+	return &Engine{reports: make(chan report), futileLimit: defaultFutileLimit}
 }
+
+// SetFutileLimit overrides the livelock watchdog threshold: the number of
+// consecutive events Run may execute without any task being dispatched or
+// woken before it fails with ErrDeadlock. limit <= 0 disables the
+// watchdog.
+func (e *Engine) SetFutileLimit(limit int) { e.futileLimit = limit }
+
+// SetReasonNamer installs a formatter for block Reasons used in deadlock
+// diagnostics. Higher layers own the Reason value space, so the engine
+// delegates naming to them.
+func (e *Engine) SetReasonNamer(f func(Reason) string) { e.reasonName = f }
 
 // AddProc creates a simulated processor whose thread switches cost
 // switchCost of virtual time.
@@ -92,6 +116,7 @@ func (e *Engine) WakeAt(t *Task, at Time) {
 		panic(fmt.Sprintf("sim: Wake of task %q in state %d", t.name, t.state))
 	}
 	t.state = taskReady
+	e.wakes++
 	t.proc.enqueue(t, at)
 }
 
@@ -107,7 +132,11 @@ func (e *Engine) Run() error {
 
 	// Run until every task is done, then drain in-flight events (e.g.
 	// message deliveries whose senders have already finished) so traffic
-	// accounting is complete.
+	// accounting is complete. The futile counter tracks consecutive
+	// events that neither dispatched nor woke a task: a self-perpetuating
+	// event chain with every task blocked (a retransmission timer whose
+	// peer will never answer) would otherwise spin Run forever.
+	futile := 0
 	for e.live > 0 || e.events.Len() > 0 {
 		p, next := e.minProcNext()
 		evAt := e.events.peekTime()
@@ -116,14 +145,25 @@ func (e *Engine) Run() error {
 		// before any task continues at T.
 		if p == nil || evAt <= p.clock {
 			if evAt == MaxTime {
-				return e.deadlockErr()
+				return e.deadlockErr("no runnable entity and no pending event")
 			}
 			ev := e.events.pop()
 			e.now = ev.at
+			wakesBefore, liveBefore := e.wakes, e.live
 			ev.fn()
+			if e.live > 0 && e.wakes == wakesBefore && e.live == liveBefore {
+				futile++
+				if e.futileLimit > 0 && futile >= e.futileLimit {
+					return e.deadlockErr(fmt.Sprintf(
+						"livelock: %d consecutive events without a task dispatch or wake", futile))
+				}
+			} else {
+				futile = 0
+			}
 			continue
 		}
 
+		futile = 0
 		e.dispatchProc(p, minTime(evAt, next))
 	}
 	return nil
@@ -189,23 +229,34 @@ func (e *Engine) dispatchProc(p *Proc, horizon Time) {
 	}
 }
 
-// Shutdown releases the goroutines of any still-blocked tasks. It is safe
-// to call after Run returns (including on deadlock) and at most once.
+// Shutdown releases the goroutines of any unfinished tasks. It is safe
+// to call after Run returns (including on deadlock or a recovered panic)
+// and at most once. Every non-done task is waiting to receive a grant —
+// blocked and ready tasks in handoff/start, and yield-parked tasks
+// (state taskRunning, mid-handoff) likewise — so poisoning all of them
+// leaks nothing.
 func (e *Engine) Shutdown() {
 	for _, t := range e.tasks {
-		if t.state == taskBlocked || t.state == taskReady {
+		if t.state != taskDone {
 			t.resume <- grant{poison: true}
 		}
 	}
 }
 
-func (e *Engine) deadlockErr() error {
+func (e *Engine) deadlockErr(why string) error {
 	var blocked []string
 	for _, t := range e.tasks {
 		if t.state == taskBlocked {
-			blocked = append(blocked, fmt.Sprintf("%s(reason=%d)", t.name, t.reason))
+			blocked = append(blocked, fmt.Sprintf("%s(reason=%s)", t.name, e.fmtReason(t.reason)))
 		}
 	}
-	return fmt.Errorf("%w: %d tasks live, blocked: %s",
-		ErrDeadlock, e.live, strings.Join(blocked, ", "))
+	return fmt.Errorf("%w: %s; %d tasks live, blocked: %s",
+		ErrDeadlock, why, e.live, strings.Join(blocked, ", "))
+}
+
+func (e *Engine) fmtReason(r Reason) string {
+	if e.reasonName != nil {
+		return e.reasonName(r)
+	}
+	return fmt.Sprintf("%d", r)
 }

@@ -1,0 +1,116 @@
+package sim
+
+import "fmt"
+
+// Window is a half-open virtual-time interval [From, To) used by the
+// node-level fault injections (pauses and slowdowns).
+type Window struct {
+	From, To Time
+}
+
+func (w Window) contains(t Time) bool { return t >= w.From && t < w.To }
+
+// slowWindow is a Window with a compute dilation factor.
+type slowWindow struct {
+	Window
+	factor float64
+}
+
+// injections holds a processor's fault-injection schedule. The pointer is
+// nil on an uninjected proc, so the charge path pays one nil check and
+// nothing else — fault-free runs stay byte-identical.
+type injections struct {
+	pauses []Window     // sorted by From, non-overlapping
+	slow   []slowWindow // sorted by From, non-overlapping
+}
+
+// InjectPause schedules a window during which the processor makes no
+// progress: any compute that crosses into [from, to) is displaced past
+// the window end, as if the node had been suspended for the window's
+// length. Windows must not overlap previously injected pauses. Must be
+// called before Run.
+func (p *Proc) InjectPause(from, to Time) {
+	if to <= from || from < 0 {
+		panic(fmt.Sprintf("sim: InjectPause with bad window [%v, %v)", from, to))
+	}
+	inj := p.injected()
+	inj.pauses = insertWindow(inj.pauses, Window{from, to})
+}
+
+// InjectSlowdown schedules a window during which compute charged on this
+// processor is multiplied by factor (> 1 runs slower). The factor applies
+// per charge: a charge beginning inside the window dilates wholesale,
+// which is exact for the fine-grained charges the DSM issues (ns–µs
+// against ms-scale windows). factor must be ≥ 1; windows must not overlap
+// previously injected slowdowns. Must be called before Run.
+func (p *Proc) InjectSlowdown(from, to Time, factor float64) {
+	if to <= from || from < 0 {
+		panic(fmt.Sprintf("sim: InjectSlowdown with bad window [%v, %v)", from, to))
+	}
+	if factor < 1 {
+		panic(fmt.Sprintf("sim: InjectSlowdown with factor %v < 1", factor))
+	}
+	inj := p.injected()
+	var ws []Window
+	for _, s := range inj.slow {
+		ws = append(ws, s.Window)
+	}
+	ws = insertWindow(ws, Window{from, to})
+	slow := make([]slowWindow, 0, len(ws))
+	for _, w := range ws {
+		f := factor
+		for _, s := range inj.slow {
+			if s.From == w.From {
+				f = s.factor
+			}
+		}
+		slow = append(slow, slowWindow{w, f})
+	}
+	inj.slow = slow
+}
+
+func (p *Proc) injected() *injections {
+	if p.inj == nil {
+		p.inj = &injections{}
+	}
+	return p.inj
+}
+
+// insertWindow inserts w keeping the slice sorted by From, panicking on
+// overlap (schedules with overlapping windows are ambiguous).
+func insertWindow(ws []Window, w Window) []Window {
+	for _, o := range ws {
+		if w.From < o.To && o.From < w.To {
+			panic(fmt.Sprintf("sim: injection window [%v, %v) overlaps [%v, %v)", w.From, w.To, o.From, o.To))
+		}
+	}
+	ws = append(ws, w)
+	for i := len(ws) - 1; i > 0 && ws[i].From < ws[i-1].From; i-- {
+		ws[i], ws[i-1] = ws[i-1], ws[i]
+	}
+	return ws
+}
+
+// dilate maps a compute charge of d starting at the processor's current
+// clock through the injection schedule, returning the virtual time the
+// charge actually occupies: slowdown windows multiply the charge, pause
+// windows displace it past their end.
+func (inj *injections) dilate(clock Time, d Time) Time {
+	for _, s := range inj.slow {
+		if s.contains(clock) {
+			d = Time(float64(d) * s.factor)
+			break
+		}
+	}
+	// Displace the charge past every pause window it crosses. Windows are
+	// sorted by From; extending the end can pull later windows into range,
+	// which the forward scan picks up against the updated end.
+	end := clock + d
+	for _, w := range inj.pauses {
+		if w.To <= clock || w.From >= end {
+			continue
+		}
+		end += w.To - maxTime(w.From, clock)
+	}
+	return end - clock
+}

@@ -45,6 +45,20 @@ type Proc struct {
 
 	idle      bool
 	idleSince Time
+
+	inj *injections // nil unless fault injections were scheduled
+}
+
+// charge advances the processor clock by a compute charge of d, mapped
+// through any injected pause/slowdown windows. Only task compute is
+// dilated; switch costs and wake stamps are not (the windows model the
+// *node* being starved of cycles, which the DSM observes as stretched
+// bursts).
+func (p *Proc) charge(d Time) {
+	if p.inj != nil {
+		d = p.inj.dilate(p.clock, d)
+	}
+	p.clock += d
 }
 
 // ID reports the processor's index, assigned in creation order from 0.

@@ -65,7 +65,7 @@ func (t *Task) BlockReason() Reason { return t.reason }
 // yields so pending earlier events are applied before the task observes any
 // further state.
 func (t *Task) Advance(d Time) {
-	t.proc.clock += d
+	t.proc.charge(d)
 	for t.proc.clock > t.horizon {
 		t.handoff(report{t, reportYield})
 	}

@@ -164,6 +164,22 @@ func WriteChrome(w io.Writer, r *Recorder) error {
 		case KindMsgDeliver:
 			emit(`{"name":%q,"cat":"msg","ph":"f","bp":"e","id":%d,"ts":%s,"pid":%d,"tid":0,"args":{"bytes":%d}}`,
 				"msg "+className(e.Sync), e.Aux, usec(e.T), e.Node, e.Arg)
+
+		case KindMsgDrop:
+			instant(e, "drop "+className(e.Sync), "fault-inject",
+				fmt.Sprintf(`"to":%d,"bytes":%d,"id":%d`, e.Peer, e.Arg, e.Aux))
+
+		case KindMsgDup:
+			instant(e, "dup "+className(e.Sync), "fault-inject",
+				fmt.Sprintf(`"to":%d,"bytes":%d,"id":%d`, e.Peer, e.Arg, e.Aux))
+
+		case KindRetransmit:
+			instant(e, "retransmit "+className(e.Sync), "transport",
+				fmt.Sprintf(`"to":%d,"seq":%d,"attempt":%d`, e.Peer, e.Aux, e.Arg))
+
+		case KindDupSuppress:
+			instant(e, "dup-suppress "+className(e.Sync), "transport",
+				fmt.Sprintf(`"from":%d,"seq":%d`, e.Peer, e.Aux))
 		}
 	}
 

@@ -1,0 +1,34 @@
+package trace
+
+// tee fans every event out to multiple tracers in order. Built with Tee.
+type tee struct {
+	sinks []Tracer
+}
+
+// Emit implements Tracer.
+func (t *tee) Emit(e Event) {
+	for _, s := range t.sinks {
+		s.Emit(e)
+	}
+}
+
+// Tee composes tracers: every emitted event reaches each non-nil sink in
+// argument order. It lets a run record a trace and feed the invariant
+// checker from the same event stream. Nil sinks are skipped; if at most
+// one sink remains, it is returned directly (nil for none), preserving
+// the nil-check fast path on the hot side.
+func Tee(sinks ...Tracer) Tracer {
+	live := make([]Tracer, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &tee{sinks: live}
+}

@@ -1,0 +1,28 @@
+package trace
+
+import "testing"
+
+type countTracer struct{ n int }
+
+func (c *countTracer) Emit(Event) { c.n++ }
+
+func TestTeeFansOut(t *testing.T) {
+	a, b := &countTracer{}, &countTracer{}
+	tr := Tee(a, nil, b)
+	for i := 0; i < 3; i++ {
+		tr.Emit(Event{Kind: KindMsgSend})
+	}
+	if a.n != 3 || b.n != 3 {
+		t.Errorf("sink counts = %d, %d, want 3, 3", a.n, b.n)
+	}
+}
+
+func TestTeeCollapses(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Error("Tee of all-nil sinks should be nil (preserves the fast path)")
+	}
+	a := &countTracer{}
+	if got := Tee(nil, a); got != Tracer(a) {
+		t.Error("Tee with a single live sink should return it directly")
+	}
+}

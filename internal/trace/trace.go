@@ -87,6 +87,22 @@ const (
 	// KindMsgDeliver: the message with id Aux (class Sync, Arg bytes,
 	// sent by Peer) started its handler at Node.
 	KindMsgDeliver
+	// KindMsgDrop: the fault model dropped the message with id Aux
+	// (class Sync, Arg bytes) from Node to Peer at its departure time T.
+	// No matching deliver event exists for the id.
+	KindMsgDrop
+	// KindMsgDup: the fault model duplicated the message with id Aux
+	// (class Sync, Arg bytes) from Node to Peer; the replica delivers as
+	// a separate msg.deliver with its own id.
+	KindMsgDup
+	// KindRetransmit: the reliable transport at Node re-sent an
+	// unacknowledged message to Peer. Sync is the class, Aux the
+	// transport sequence number, Arg the retry attempt (1-based).
+	KindRetransmit
+	// KindDupSuppress: the reliable transport at Node received a replay
+	// of an already-delivered message from Peer and suppressed it. Sync
+	// is the class, Aux the transport sequence number.
+	KindDupSuppress
 
 	numKinds
 )
@@ -109,6 +125,10 @@ var kindNames = [numKinds]string{
 	KindThreadUnblock:  "thread.unblock",
 	KindMsgSend:        "msg.send",
 	KindMsgDeliver:     "msg.deliver",
+	KindMsgDrop:        "msg.drop",
+	KindMsgDup:         "msg.dup",
+	KindRetransmit:     "msg.retransmit",
+	KindDupSuppress:    "msg.dupsuppress",
 }
 
 // String returns the dotted event-kind name used in exports and reports.
