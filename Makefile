@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race golden-trace bench-smoke chaos metrics-gate metrics-baseline perf-baseline
+.PHONY: check vet build test race golden-trace bench-smoke chaos par-check metrics-gate metrics-baseline perf-baseline
 
 ## check: the pre-commit gate (mirrors .github/workflows/ci.yml) — vet,
 ## build, race-test everything, verify the golden trace, a one-iteration
 ## pass over every benchmark so the perf kernels stay honest, the chaos
-## suite under fault injection, and the metrics regression gate against
-## the committed baseline.
-check: vet build race golden-trace bench-smoke chaos metrics-gate
+## suite under fault injection, the windowed-engine determinism guard,
+## and the metrics regression gate against the committed baseline.
+check: vet build race golden-trace bench-smoke chaos par-check metrics-gate
 	@echo "check: OK"
 
 vet:
@@ -39,6 +39,15 @@ bench-smoke:
 ## chaos-artifacts/.
 chaos:
 	CHAOS_ARTIFACT_DIR=chaos-artifacts $(GO) test ./internal/chaos ./internal/check -count=1
+
+## par-check: the windowed-engine determinism guard — byte-identical
+## checksums, run statistics, metrics reports, and Chrome traces across
+## engine-workers 1, 2, and 4, fault-free and under a fuzzed fault
+## schedule, plus the chaos engine-workers axis (sequential vs windowed
+## under random fault plans with the invariant checker attached).
+par-check:
+	$(GO) test ./internal/harness -run 'TestGuardDeterminism' -count=1
+	$(GO) test ./internal/chaos -run TestEngineWorkersUnderChaos -count=1
 
 ## metrics-gate: re-run the baseline workload and compare its metrics
 ## report against the committed BASELINE_metrics.json. The simulator is

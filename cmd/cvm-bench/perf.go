@@ -14,6 +14,7 @@ import (
 	"cvm/internal/core"
 	"cvm/internal/harness"
 	"cvm/internal/memsim"
+	"cvm/internal/sim"
 )
 
 // runPerf benchmarks the harness itself: one grid run sequentially and one
@@ -42,6 +43,7 @@ func runPerf(out io.Writer, size apps.Size, workers int, jsonPath string, progre
 		return err
 	}
 	seqDur := time.Since(t0)
+	b.Phases = append(b.Phases, harness.PerfPhase{Name: "grid-sequential", Workers: 1, Seconds: seqDur.Seconds()})
 
 	fmt.Fprintf(out, "perf: same grid with %d workers...\n", workers)
 	t0 = time.Now()
@@ -50,6 +52,7 @@ func runPerf(out io.Writer, size apps.Size, workers int, jsonPath string, progre
 		return err
 	}
 	parDur := time.Since(t0)
+	b.Phases = append(b.Phases, harness.PerfPhase{Name: "grid-parallel", Workers: workers, Seconds: parDur.Seconds()})
 
 	b.Grid.Cells = len(seq)
 	b.Grid.Workers = workers
@@ -61,6 +64,43 @@ func runPerf(out io.Writer, size apps.Size, workers int, jsonPath string, progre
 	b.Grid.Identical = seq.Equal(par)
 	if !b.Grid.Identical {
 		return fmt.Errorf("cvm-bench: parallel grid results differ from sequential (determinism violation)")
+	}
+
+	// Intra-run parallelism: the same small grid on the conservative
+	// windowed engine, one worker vs engineWorkers workers. Unlike the
+	// grid pool (independent simulations per core), this parallelizes
+	// inside each simulation, so it is gated on byte-identical Results.
+	const engineWorkers = 4
+	engineNames := []string{"sor", "waternsq"}
+	engineShapes := harness.GridShapes([]int{4}, []int{4})
+	engineMut := func(w int) func(harness.Key, *cvm.Config) {
+		return func(_ harness.Key, cfg *cvm.Config) { cfg.EngineWorkers = w }
+	}
+	fmt.Fprintf(out, "perf: engine grid %d apps, windowed engine 1 worker...\n", len(engineNames))
+	t0 = time.Now()
+	eseq, err := harness.RunGridConfig(engineNames, size, engineShapes, engineMut(1), progress, 1)
+	if err != nil {
+		return err
+	}
+	eseqDur := time.Since(t0)
+	b.Phases = append(b.Phases, harness.PerfPhase{Name: "engine-sequential", Workers: 1, Seconds: eseqDur.Seconds()})
+	fmt.Fprintf(out, "perf: engine grid with %d engine workers...\n", engineWorkers)
+	t0 = time.Now()
+	epar, err := harness.RunGridConfig(engineNames, size, engineShapes, engineMut(engineWorkers), progress, 1)
+	if err != nil {
+		return err
+	}
+	eparDur := time.Since(t0)
+	b.Phases = append(b.Phases, harness.PerfPhase{Name: "engine-parallel", Workers: engineWorkers, Seconds: eparDur.Seconds()})
+
+	b.Engine.Workers = engineWorkers
+	b.Engine.Cores = runtime.NumCPU()
+	b.Engine.SeqSeconds = eseqDur.Seconds()
+	b.Engine.ParSeconds = eparDur.Seconds()
+	b.Engine.Speedup = eseqDur.Seconds() / eparDur.Seconds()
+	b.Engine.Identical = eseq.Equal(epar)
+	if !b.Engine.Identical {
+		return fmt.Errorf("cvm-bench: windowed engine results differ between 1 and %d workers (determinism violation)", engineWorkers)
 	}
 
 	b.Micro = append(b.Micro,
@@ -77,6 +117,8 @@ func runPerf(out io.Writer, size apps.Size, workers int, jsonPath string, progre
 		micro("SpanSweep/span", benchSpanSweep(true)),
 		micro("SpanSORRow/scalar", benchSpanSORRow(false)),
 		micro("SpanSORRow/span", benchSpanSORRow(true)),
+		micro("Engine/EventHeap", benchEngineEventHeap()),
+		micro("Engine/SpawnWake", benchEngineSpawnWake()),
 	)
 
 	f, err := os.Create(jsonPath)
@@ -96,6 +138,9 @@ func runPerf(out io.Writer, size apps.Size, workers int, jsonPath string, progre
 	fmt.Fprintf(out, "perf: %d cells: sequential %.2fs (%.2f cells/s), %d workers %.2fs (%.2f cells/s), speedup %.2fx\n",
 		b.Grid.Cells, b.Grid.SeqSeconds, b.Grid.SeqCellsSec,
 		b.Grid.Workers, b.Grid.ParSeconds, b.Grid.ParCellsSec, b.Grid.Speedup)
+	fmt.Fprintf(out, "perf: engine grid: 1 worker %.2fs, %d workers %.2fs, speedup %.2fx on %d cores, identical=%v\n",
+		b.Engine.SeqSeconds, b.Engine.Workers, b.Engine.ParSeconds,
+		b.Engine.Speedup, b.Engine.Cores, b.Engine.Identical)
 	for _, m := range b.Micro {
 		fmt.Fprintf(out, "perf: %-18s %10.1f ns/op  %d allocs/op\n", m.Name, m.NsOp, m.AllocsOp)
 	}
@@ -319,6 +364,62 @@ func benchSpanSORRow(span bool) testing.BenchmarkResult {
 					top, cur, bot = cur, bot, top
 				}
 			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchEngineEventHeap measures the engine's event heap through the
+// public API: one task pushes a standing population of timed events that
+// the run loop pops in time order — the delivery pattern of netsim.
+func benchEngineEventHeap() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := sim.NewEngine()
+			p := eng.AddProc(0)
+			eng.Spawn(p, "pusher", func(t *sim.Task) {
+				nop := func() {}
+				x := uint64(1)
+				for j := 0; j < 512; j++ {
+					x = x*6364136223846793005 + 1442695040888963407
+					t.Schedule(t.Now()+sim.Time(x>>44), nop)
+				}
+			})
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchEngineSpawnWake measures task dispatch and wake: two tasks on one
+// proc ping-pong through Block/Wake, the pattern of a thread blocking on
+// a remote fault and being woken by the reply handler.
+func benchEngineSpawnWake() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := sim.NewEngine()
+			p := eng.AddProc(0)
+			const rounds = 256
+			var a, z *sim.Task
+			// a blocks first; z and a then alternate wake-then-block, so
+			// every wake targets a task that is already blocked.
+			a = eng.Spawn(p, "a", func(t *sim.Task) {
+				for j := 0; j < rounds; j++ {
+					t.Block(0)
+					eng.WakeAt(z, t.Now())
+				}
+			})
+			z = eng.Spawn(p, "z", func(t *sim.Task) {
+				for j := 0; j < rounds; j++ {
+					eng.WakeAt(a, t.Now())
+					t.Block(0)
+				}
+			})
+			if err := eng.Run(); err != nil {
 				b.Fatal(err)
 			}
 		}

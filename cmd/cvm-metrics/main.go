@@ -142,9 +142,18 @@ func isPerfBaseline(data []byte) bool {
 	return strings.Contains(string(data), `"micro"`)
 }
 
+// allocCaps are absolute allocs/op ceilings for the hot span access
+// paths, enforced independently of the baseline so a regressed baseline
+// can never launder an allocation-diet regression through the relative
+// gate.
+var allocCaps = map[string]int64{
+	"ReadRange/span":  24,
+	"WriteRange/span": 38,
+}
+
 // comparePerf diffs two harness perf baselines. Host wall-clock numbers
 // are noisy, so ns/op drifts only warn; allocation counts and the
-// determinism bit are exact properties of the code and fail hard.
+// determinism bits are exact properties of the code and fail hard.
 func comparePerf(base, cur []byte, tol float64) ([]metrics.Finding, error) {
 	b, err := harness.ReadPerfBaseline(base)
 	if err != nil {
@@ -162,6 +171,12 @@ func comparePerf(base, cur []byte, tol float64) ([]metrics.Finding, error) {
 			Msg: "parallel grid results differ from sequential (determinism violation)",
 		})
 	}
+	if c.Engine.Workers > 0 && !c.Engine.Identical {
+		findings = append(findings, metrics.Finding{
+			Level: metrics.LevelFail, Path: "engine/results_identical",
+			Msg: "windowed engine results differ across worker counts (determinism violation)",
+		})
+	}
 	baseMicro := make(map[string]harness.MicroResult, len(b.Micro))
 	for _, m := range b.Micro {
 		baseMicro[m.Name] = m
@@ -177,6 +192,13 @@ func comparePerf(base, cur []byte, tol float64) ([]metrics.Finding, error) {
 				Level: metrics.LevelFail, Path: "micro/" + m.Name + "/allocs_op",
 				Base: bm.AllocsOp, Cur: m.AllocsOp,
 				Msg: fmt.Sprintf("allocs/op grew %d -> %d", bm.AllocsOp, m.AllocsOp),
+			})
+		}
+		if cap, ok := allocCaps[m.Name]; ok && m.AllocsOp > cap {
+			findings = append(findings, metrics.Finding{
+				Level: metrics.LevelFail, Path: "micro/" + m.Name + "/allocs_cap",
+				Base: cap, Cur: m.AllocsOp,
+				Msg: fmt.Sprintf("allocs/op %d exceeds hard cap %d", m.AllocsOp, cap),
 			})
 		}
 		if bm.NsOp > 0 && m.NsOp > bm.NsOp*(1+tol) {

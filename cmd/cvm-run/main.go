@@ -67,6 +67,8 @@ func run(args []string, out io.Writer) error {
 		metricsBin  = fs.Duration("metrics-interval", 0, "utilization-timeline bin width in virtual time (0 = default 10ms)")
 		metricsTopN = fs.Int("metrics-top", 10, "rows kept in the hot-page and hot-lock tables")
 
+		engineWorkers = fs.Int("engine-workers", 0, "conservative parallel engine worker count (0 = sequential engine)")
+
 		faults    = fs.String("faults", "", "deterministic fault spec, e.g. 'drop=0.01,dup=0.001,reorder=0.005,jitter=100us,pause=1:5ms:2ms'")
 		faultSeed = fs.Uint64("fault-seed", 1, "fault-schedule seed (same spec + seed = same schedule, byte for byte)")
 		checkRun  = fs.Bool("check", false, "attach the protocol invariant checker; any violation fails the run")
@@ -85,6 +87,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *metricsTopN < 1 {
 		return fmt.Errorf("-metrics-top must be >= 1, got %d", *metricsTopN)
+	}
+	if *engineWorkers < 0 {
+		return fmt.Errorf("-engine-workers must be >= 0, got %d", *engineWorkers)
 	}
 	var fp *cvm.FaultPlan
 	if *faults != "" {
@@ -121,7 +126,7 @@ func run(args []string, out io.Writer) error {
 			metricsOut: *metricsOut, metricsCSV: *metricsCSV,
 			report: *showReport, wantMetrics: wantMetrics,
 			interval: cvm.Time((*metricsBin).Nanoseconds()), topN: *metricsTopN,
-			faults: fp, check: *checkRun,
+			faults: fp, check: *checkRun, engineWorkers: *engineWorkers,
 		})
 	}
 
@@ -132,8 +137,12 @@ func run(args []string, out io.Writer) error {
 	// state, so the sweep stays deterministic at any -parallel level.
 	shapes := harness.GridShapes([]int{*nodes}, levels)
 	var mut func(harness.Key, *cvm.Config)
-	if fp != nil {
-		mut = func(_ harness.Key, cfg *cvm.Config) { cfg.Faults = fp }
+	if fp != nil || *engineWorkers > 0 {
+		ew := *engineWorkers
+		mut = func(_ harness.Key, cfg *cvm.Config) {
+			cfg.Faults = fp
+			cfg.EngineWorkers = ew
+		}
 	}
 	res, err := harness.RunGridConfig([]string{*appName}, sz, shapes, mut, nil, *parallel)
 	if err != nil {
@@ -179,8 +188,9 @@ type instrumentOpts struct {
 	interval    cvm.Time
 	topN        int
 
-	faults *cvm.FaultPlan
-	check  bool
+	faults        *cvm.FaultPlan
+	check         bool
+	engineWorkers int
 }
 
 // runInstrumented executes one simulation with tracing and/or metrics
@@ -190,6 +200,7 @@ type instrumentOpts struct {
 func runInstrumented(out io.Writer, o instrumentOpts) error {
 	cfg := cvm.DefaultConfig(o.nodes, o.threads)
 	cfg.Faults = o.faults
+	cfg.EngineWorkers = o.engineWorkers
 	var rec *trace.Recorder
 	if o.traceOut != "" {
 		rec = trace.NewRecorder(o.nodes, o.threads, o.traceLimit)

@@ -53,6 +53,8 @@ func run(args []string, out io.Writer) error {
 		report  = fs.Bool("report", false, "print the latency report (p50/p95/p99 per event class)")
 		limit   = fs.Int("limit", 0, "per-node event ring bound (0 = unbounded; oldest events drop first)")
 
+		engineWorkers = fs.Int("engine-workers", 0, "conservative parallel engine worker count (0 = sequential engine)")
+
 		faults    = fs.String("faults", "", "deterministic fault spec, e.g. 'drop=0.01,dup=0.001' (injected events appear in the trace)")
 		faultSeed = fs.Uint64("fault-seed", 1, "fault-schedule seed (same spec + seed = same schedule, byte for byte)")
 		checkRun  = fs.Bool("check", false, "attach the protocol invariant checker; any violation fails the run")
@@ -68,6 +70,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *nodes < 1 || *threads < 1 {
 		return fmt.Errorf("-nodes and -threads must be >= 1, got %d and %d", *nodes, *threads)
+	}
+	if *engineWorkers < 0 {
+		return fmt.Errorf("-engine-workers must be >= 0, got %d", *engineWorkers)
 	}
 	var fp *cvm.FaultPlan
 	if *faults != "" {
@@ -95,6 +100,7 @@ func run(args []string, out io.Writer) error {
 	cfg := cvm.DefaultConfig(*nodes, *threads)
 	cfg.Tracer = rec
 	cfg.Faults = fp
+	cfg.EngineWorkers = *engineWorkers
 	var chk *check.Checker
 	if *checkRun {
 		chk = check.New(*nodes, *threads)

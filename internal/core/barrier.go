@@ -23,6 +23,9 @@ type barrierEpisode struct {
 func (n *node) barrierAt(id int) *nodeBarrier {
 	b := n.barriers[id]
 	if b == nil {
+		if n.barriers == nil {
+			n.barriers = make(map[int]*nodeBarrier)
+		}
 		b = &nodeBarrier{id: id}
 		n.barriers[id] = b
 	}
@@ -87,6 +90,9 @@ func (t *Thread) Barrier(id int) {
 // ownInfosSince returns the node's own intervals not yet shipped to the
 // barrier manager.
 func (n *node) ownInfosSince() []*IntervalInfo {
+	if n.intervals == nil {
+		return nil
+	}
 	infos := n.intervals[n.id]
 	i := len(infos)
 	for i > 0 && infos[i-1].Idx > n.barrierSentIdx {
@@ -104,6 +110,9 @@ func (n *node) ownInfosSince() []*IntervalInfo {
 func (s *System) barrierArrival(id, from int, vt VClock) {
 	ep := s.episodes[id]
 	if ep == nil {
+		if s.episodes == nil {
+			s.episodes = make(map[int]*barrierEpisode)
+		}
 		ep = &barrierEpisode{arrivalVT: make([]VClock, s.cfg.Nodes)}
 		s.episodes[id] = ep
 	}
@@ -144,7 +153,7 @@ func (n *node) releaseBarrier(id int) {
 	b.waiters = nil
 	b.arrived = 0
 	if tr := n.sys.tracer; tr != nil {
-		tr.Emit(trace.Event{T: n.sys.eng.Now(), Kind: trace.KindBarrierRelease,
+		tr.Emit(trace.Event{T: n.proc.LocalNow(), Kind: trace.KindBarrierRelease,
 			Node: int32(n.id), Thread: -1, Sync: int32(id)})
 	}
 	for _, w := range waiters {

@@ -123,10 +123,10 @@ func TestMakeDiffMatchesReference(t *testing.T) {
 		mutate(cur)
 		cases = append(cases, [2][]byte{twin, cur})
 	}
-	addCase(64, func(cur []byte) {})                          // clean page
-	addCase(64, func(cur []byte) { cur[0] = 1 })              // run at start
-	addCase(64, func(cur []byte) { cur[63] = 1 })             // run at end
-	addCase(64, func(cur []byte) { cur[7] = 1; cur[8] = 1 })  // run across a word boundary
+	addCase(64, func(cur []byte) {})                         // clean page
+	addCase(64, func(cur []byte) { cur[0] = 1 })             // run at start
+	addCase(64, func(cur []byte) { cur[63] = 1 })            // run at end
+	addCase(64, func(cur []byte) { cur[7] = 1; cur[8] = 1 }) // run across a word boundary
 	addCase(64, func(cur []byte) {
 		for i := range cur {
 			cur[i] = byte(i) | 1 // every byte differs
@@ -137,8 +137,8 @@ func TestMakeDiffMatchesReference(t *testing.T) {
 			cur[i] = 1 // alternating differ/match defeats whole-word runs
 		}
 	})
-	addCase(13, func(cur []byte) { cur[12] = 1 })             // tail shorter than a word
-	addCase(7, func(cur []byte) { cur[3] = 1 })               // page shorter than a word
+	addCase(13, func(cur []byte) { cur[12] = 1 }) // tail shorter than a word
+	addCase(7, func(cur []byte) { cur[3] = 1 })   // page shorter than a word
 	addCase(1, func(cur []byte) { cur[0] = 1 })
 	addCase(0, func(cur []byte) {})
 	for i, c := range cases {

@@ -44,11 +44,9 @@ func (t *Thread) ensureAccess(p *page, write bool) {
 			// signal delivery, create the twin (a page-length copy
 			// through the cache), re-enable writes (mprotect).
 			t.task.Advance(cfg.SignalCost)
-			p.materialize(t.sys)
+			n.materialize(p)
 			if p.twin == nil {
-				twin := t.sys.newPageBuf(false)
-				copy(twin, p.data)
-				p.twin = twin
+				n.newTwin(p)
 				t.task.Advance(n.mem.AccessRange(t.pageVA(p.id), cfg.PageSize))
 				if tr := t.sys.tracer; tr != nil {
 					tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindTwinCreate,
@@ -91,7 +89,7 @@ func (t *Thread) remoteFault(p *page) {
 		if nm := n.met; nm != nil {
 			d := t.task.Now() - wstart
 			nm.FaultThreadWait.Observe(int64(d))
-			t.sys.met.PageFaultWait(int32(p.id), d)
+			t.sys.met.PageFaultWait(t.node.id, int32(p.id), d)
 		}
 		return
 	}
@@ -132,7 +130,7 @@ func (t *Thread) remoteFault(p *page) {
 		sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(r.node),
 			netsim.ClassDiff, diffRequestBytes, func() {
 				target.serveDiffRequest(p.id, r.from, r.to, func(ds []*Diff, bytes int, service sim.Time) {
-					sys.eng.Schedule(sys.eng.Now()+service, func() {
+					sys.eng.ScheduleOn(target.proc, target.proc.LocalNow()+service, func() {
 						sys.sendFromHandler(netsim.NodeID(r.node), netsim.NodeID(n.id),
 							netsim.ClassDiff, bytes, func() {
 								fs.diffs = append(fs.diffs, ds...)
@@ -153,7 +151,7 @@ func (t *Thread) remoteFault(p *page) {
 	if nm := n.met; nm != nil {
 		d := t.task.Now() - wstart
 		nm.FaultThreadWait.Observe(int64(d))
-		t.sys.met.PageFaultWait(int32(p.id), d)
+		t.sys.met.PageFaultWait(t.node.id, int32(p.id), d)
 	}
 
 	if p.fault == fs && fs.ready && fs.waiters[0] == t {
@@ -167,7 +165,7 @@ func (t *Thread) remoteFault(p *page) {
 func (t *Thread) applyFault(fs *faultState) {
 	n := t.node
 	p := fs.page
-	p.materialize(t.sys)
+	t.node.materialize(p)
 	sortDiffs(fs.diffs)
 	if t.sys.cfg.DetectRaces {
 		n.detectRaces(fs.diffs)

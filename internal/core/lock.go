@@ -38,6 +38,9 @@ type lockState struct {
 func (n *node) lockAt(id int) *lockState {
 	l := n.locks[id]
 	if l == nil {
+		if n.locks == nil {
+			n.locks = make(map[int]*lockState)
+		}
 		l = &lockState{id: id, nextNode: -1}
 		mgr := id % n.sys.cfg.Nodes
 		if n.id == mgr {
@@ -77,7 +80,7 @@ func (t *Thread) Lock(id int) {
 		if nm := n.met; nm != nil {
 			d := t.task.Now() - wstart
 			nm.LockLocalWait.Observe(int64(d))
-			t.sys.met.LockAcquireWait(int32(id), d)
+			t.sys.met.LockAcquireWait(t.node.id, int32(id), d)
 		}
 		// Woken as the holder (set by the releaser or the grant).
 		t.traceLockAcquire(id, true)
@@ -104,7 +107,7 @@ func (t *Thread) Lock(id int) {
 			} else {
 				nm.Lock2Hop.Observe(int64(d))
 			}
-			t.sys.met.LockAcquireWait(int32(id), d)
+			t.sys.met.LockAcquireWait(t.node.id, int32(id), d)
 		}
 		t.traceLockAcquire(id, false)
 	}
@@ -170,7 +173,7 @@ func (n *node) handleLockManagerRequest(id, from int, reqVT VClock) {
 	if tr := sys.tracer; tr != nil {
 		// A remote forward marks the 3-hop acquire path (the 2-hop path
 		// resolves at the manager without one).
-		tr.Emit(trace.Event{T: sys.eng.Now(), Kind: trace.KindLockForward,
+		tr.Emit(trace.Event{T: n.proc.LocalNow(), Kind: trace.KindLockForward,
 			Node: int32(n.id), Thread: -1, Sync: int32(id),
 			Peer: int32(last), Arg: int64(from)})
 	}
@@ -220,7 +223,7 @@ func (n *node) handleLockGrant(id int, infos []*IntervalInfo, senderVT VClock, h
 	l.grantHops = hops
 	n.applyInfos(infos, senderVT)
 	if tr := n.sys.tracer; tr != nil {
-		tr.Emit(trace.Event{T: n.sys.eng.Now(), Kind: trace.KindLockGrant,
+		tr.Emit(trace.Event{T: n.proc.LocalNow(), Kind: trace.KindLockGrant,
 			Node: int32(n.id), Thread: -1, Sync: int32(id)})
 	}
 	l.token = true

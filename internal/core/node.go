@@ -15,26 +15,34 @@ type node struct {
 	sys  *System
 	id   int
 	proc *sim.Proc
-	mem  *memsim.System
+	mem  memsim.System
 
-	// Consistency state.
+	// Consistency state. The page table is one contiguous backing array
+	// built at Start (with a shared applied/wanted arena), so the access
+	// fast path never allocates per page. The sync-object maps are
+	// created lazily on first use — a run that never touches a lock pays
+	// nothing for the lock table.
 	vt             VClock
-	curIdx         int32                   // index of this node's next interval
-	pages          []*page                 // lazily populated, one per PageID
-	dirty          []PageID                // pages written in the open interval
-	intervals      map[int][]*IntervalInfo // known intervals, keyed by node, idx-ascending
-	diffs          map[PageID][]*Diff      // diffs created here, idx-ascending
-	locks          map[int]*lockState
-	barriers       map[int]*nodeBarrier
-	reduces        map[int]*nodeReduce
-	swdir          map[PageID]*swDir // single-writer directory (manager side)
-	barrierSentIdx int32             // own intervals already shipped to the barrier manager
+	curIdx         int32                // index of this node's next interval
+	pages          []page               // one per PageID, built at Start
+	pageVec        []int32              // applied/wanted backing, 2×Nodes per page
+	dirty          []PageID             // pages written in the open interval
+	intervals      [][]*IntervalInfo    // known intervals, per node, idx-ascending
+	locks          map[int]*lockState   // lazily created
+	barriers       map[int]*nodeBarrier // lazily created
+	reduces        map[int]*nodeReduce  // lazily created
+	swdir          map[PageID]*swDir    // single-writer directory (manager side), lazily created
+	barrierSentIdx int32                // own intervals already shipped to the barrier manager
 
 	// In-flight remote request counts for outstanding-request sampling.
 	inFlightFaults int
 	inFlightLocks  int
 
-	threads []*Thread
+	// arena backs every page's data and twin slots (see initPages); nil
+	// when Config.NoPagePooling is set.
+	arena []byte
+
+	threads []Thread
 	stats   NodeStats
 
 	// met is this node's metrics view (nil when metrics are off); hot
@@ -42,32 +50,22 @@ type node struct {
 	met *metrics.NodeMetrics
 }
 
-func newNode(sys *System, id int, proc *sim.Proc, mem *memsim.System) *node {
+func newNode(sys *System, id int, proc *sim.Proc) *node {
 	n := &node{
-		sys:       sys,
-		id:        id,
-		proc:      proc,
-		mem:       mem,
-		vt:        NewVClock(sys.cfg.Nodes),
-		intervals: make(map[int][]*IntervalInfo),
-		diffs:     make(map[PageID][]*Diff),
-		locks:     make(map[int]*lockState),
-		barriers:  make(map[int]*nodeBarrier),
-		reduces:   make(map[int]*nodeReduce),
-		swdir:     make(map[PageID]*swDir),
+		sys:  sys,
+		id:   id,
+		proc: proc,
 	}
+	n.mem.Init(sys.cfg.Mem)
 	if sys.met != nil {
 		n.met = sys.met.Node(id)
 	}
-	proc.SetHooks(sim.ProcHooks{
-		OnSwitch:  n.onSwitch,
-		OnIdleEnd: n.onIdleEnd,
-		OnSlice:   n.onSlice,
-	})
+	proc.SetHookHandler(n)
 	return n
 }
 
-func (n *node) onSwitch(from, to *sim.Task) {
+// OnSwitch implements sim.Hooks.
+func (n *node) OnSwitch(from, to *sim.Task) {
 	n.stats.ThreadSwitches++
 	// Scheduler code plus the incoming thread's code phase touch the
 	// I-TLB; this is the synthetic instruction-locality model (Figure 2).
@@ -90,7 +88,8 @@ func (n *node) onSwitch(from, to *sim.Task) {
 	}
 }
 
-func (n *node) onIdleEnd(start, end sim.Time, task *sim.Task) {
+// OnIdleEnd implements sim.Hooks.
+func (n *node) OnIdleEnd(start, end sim.Time, task *sim.Task) {
 	d := end - start
 	switch task.BlockReason() {
 	case ReasonFault:
@@ -114,7 +113,8 @@ func (n *node) onIdleEnd(start, end sim.Time, task *sim.Task) {
 	}
 }
 
-func (n *node) onSlice(task *sim.Task, start, end sim.Time) {
+// OnSlice implements sim.Hooks.
+func (n *node) OnSlice(task *sim.Task, start, end sim.Time) {
 	n.stats.UserTime += end - start
 	if nm := n.met; nm != nil {
 		nm.UserBurst.Observe(int64(end - start))
@@ -123,26 +123,86 @@ func (n *node) onSlice(task *sim.Task, start, end sim.Time) {
 	}
 }
 
-// pageAt returns the node's view of pg, creating it lazily. Under the
-// lazy-multi-writer protocol every node starts with a valid zero page
-// (write notices invalidate later); under single-writer only the page's
-// manager starts with a copy.
-func (n *node) pageAt(pg PageID) *page {
-	p := n.pages[pg]
-	if p == nil {
-		state := PageReadOnly
-		if n.sys.cfg.Protocol == ProtocolSW && int(pg)%n.sys.cfg.Nodes != n.id {
-			state = PageInvalid
+// initPages builds the node's page table: one contiguous slice of page
+// structs plus a single arena for every page's applied/wanted vectors
+// and the node's vector clock, so the table costs two allocations total
+// regardless of page count. Under the lazy-multi-writer protocol every
+// node starts with a valid zero page (write notices invalidate later);
+// under single-writer only the page's manager starts with a copy.
+func (n *node) initPages(total int) {
+	nodes := n.sys.cfg.Nodes
+	n.pages = make([]page, total)
+	n.pageVec = make([]int32, 2*total*nodes+nodes)
+	n.vt = VClock(n.pageVec[2*total*nodes:])
+	n.pageVec = n.pageVec[: 2*total*nodes : 2*total*nodes]
+	for i := range n.pages {
+		p := &n.pages[i]
+		p.id = PageID(i)
+		p.state = PageReadOnly
+		if n.sys.cfg.Protocol == ProtocolSW && i%nodes != n.id {
+			p.state = PageInvalid
 		}
-		p = &page{
-			id:      pg,
-			state:   state,
-			applied: make([]int32, n.sys.cfg.Nodes),
-			wanted:  make([]int32, n.sys.cfg.Nodes),
-		}
-		n.pages[pg] = p
+		p.applied = n.pageVec[2*i*nodes : (2*i+1)*nodes : (2*i+1)*nodes]
+		p.wanted = n.pageVec[(2*i+1)*nodes : (2*i+2)*nodes : (2*i+2)*nodes]
 	}
-	return p
+}
+
+// ensureArena allocates the page-backing arena on the node's first
+// materialize or twin: two fixed slots per page, so page copies and
+// twins never allocate individually. A node that only ever reads
+// untouched zero pages skips even this one allocation. Slot reuse
+// across twin episodes is safe because a twin is always created by a
+// full-page copy.
+func (n *node) ensureArena() {
+	if n.arena == nil {
+		n.arena = make([]byte, 2*len(n.pages)*n.sys.cfg.PageSize)
+	}
+}
+
+// pageAt returns the node's view of pg.
+func (n *node) pageAt(pg PageID) *page {
+	return &n.pages[pg]
+}
+
+// materialize allocates p's local copy on first use; pages read as zeros
+// until then. The copy comes from the node's arena (slot used exactly
+// once per page, pre-zeroed by allocation) unless pooling is disabled.
+func (n *node) materialize(p *page) {
+	if p.data != nil {
+		return
+	}
+	if !n.sys.cfg.NoPagePooling {
+		n.ensureArena()
+		ps := n.sys.cfg.PageSize
+		off := 2 * int(p.id) * ps
+		p.data = n.arena[off : off+ps : off+ps]
+		return
+	}
+	p.data = make([]byte, n.sys.cfg.PageSize)
+}
+
+// newTwin snapshots p's current contents as its twin. The twin slot is
+// reused across write-collection episodes — each episode fully
+// overwrites it with the page copy, so reuse cannot leak state.
+func (n *node) newTwin(p *page) {
+	if !n.sys.cfg.NoPagePooling {
+		n.ensureArena()
+		ps := n.sys.cfg.PageSize
+		off := (2*int(p.id) + 1) * ps
+		p.twin = n.arena[off : off+ps : off+ps]
+	} else {
+		p.twin = make([]byte, n.sys.cfg.PageSize)
+	}
+	copy(p.twin, p.data)
+}
+
+// ensureIntervals creates the per-node interval table on first use; a
+// run that never closes an interval (no synchronization) never pays for
+// it.
+func (n *node) ensureIntervals() {
+	if n.intervals == nil {
+		n.intervals = make([][]*IntervalInfo, n.sys.cfg.Nodes)
+	}
 }
 
 // markDirty adds pg to the open interval's dirty list.
@@ -162,6 +222,7 @@ func (n *node) closeInterval(t *Thread) {
 	if len(n.dirty) == 0 {
 		return
 	}
+	n.ensureIntervals()
 	n.curIdx++
 	n.vt[n.id] = n.curIdx
 	info := &IntervalInfo{
@@ -180,7 +241,7 @@ func (n *node) closeInterval(t *Thread) {
 	// regress a byte. The page-length comparison and the protection
 	// downgrade are charged to the closing thread.
 	for _, pg := range n.dirty {
-		p := n.pages[pg]
+		p := &n.pages[pg]
 		p.openDirty = false
 		d := &Diff{
 			Page: pg,
@@ -193,7 +254,6 @@ func (n *node) closeInterval(t *Thread) {
 		if nm := n.met; nm != nil {
 			nm.DiffBytes.Observe(int64(d.Bytes()))
 		}
-		n.sys.recyclePageBuf(p.twin)
 		p.twin = nil
 		if t != nil {
 			t.task.Advance(n.sys.cfg.DiffCreateCost +
@@ -207,7 +267,7 @@ func (n *node) closeInterval(t *Thread) {
 				ev.T = t.task.Now()
 				ev.Thread = int32(t.gid)
 			} else {
-				ev.T = n.sys.eng.Now()
+				ev.T = n.proc.LocalNow()
 			}
 			tr.Emit(ev)
 		}
@@ -222,7 +282,8 @@ func (n *node) closeInterval(t *Thread) {
 }
 
 func (n *node) storeDiff(d *Diff) {
-	n.diffs[d.Page] = append(n.diffs[d.Page], d)
+	p := &n.pages[d.Page]
+	p.diffs = append(p.diffs, d)
 	n.stats.DiffsCreated++
 }
 
@@ -231,6 +292,9 @@ func (n *node) storeDiff(d *Diff) {
 // index. It is the write-notice payload of lock grants and barrier
 // messages.
 func (n *node) newInfosSince(vt VClock) []*IntervalInfo {
+	if n.intervals == nil {
+		return nil
+	}
 	var out []*IntervalInfo
 	for nodeID := 0; nodeID < n.sys.cfg.Nodes; nodeID++ {
 		infos := n.intervals[nodeID]
@@ -250,6 +314,7 @@ func (n *node) applyInfos(infos []*IntervalInfo, senderVT VClock) {
 		if info.Node == n.id || info.Idx <= n.vt[info.Node] {
 			continue // own interval or already known
 		}
+		n.ensureIntervals()
 		n.intervals[info.Node] = append(n.intervals[info.Node], info)
 		n.vt[info.Node] = info.Idx
 		for _, pg := range info.Pages {
@@ -273,7 +338,7 @@ func (n *node) applyInfos(infos []*IntervalInfo, senderVT VClock) {
 // reply never reaches past the requester's write-notice horizon.
 // Intervals in the range that did not dirty the page simply have no diff.
 func (n *node) serveDiffRequest(pg PageID, from, to int32, reply func(ds []*Diff, bytes int, serviceTime sim.Time)) {
-	stored := n.diffs[pg]
+	stored := n.pages[pg].diffs
 	i := sort.Search(len(stored), func(i int) bool { return stored[i].Idx > from })
 	j := sort.Search(len(stored), func(j int) bool { return stored[j].Idx > to })
 	ds := stored[i:j]

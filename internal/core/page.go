@@ -62,6 +62,10 @@ type page struct {
 	applied []int32
 	wanted  []int32
 
+	// diffs holds the diffs this node created for the page, ascending by
+	// interval index (the storage serveDiffRequest answers from).
+	diffs []*Diff
+
 	// fault is the in-flight remote fetch for this page, if any
 	// (lazy-multi-writer protocol).
 	fault *faultState
@@ -101,12 +105,4 @@ func (p *page) missingFrom() []diffRange {
 type diffRange struct {
 	node     int
 	from, to int32 // half-open (from, to]
-}
-
-// materialize allocates the local copy on first use (pages read as zeros
-// until then), drawing from the system's page-buffer pool.
-func (p *page) materialize(sys *System) {
-	if p.data == nil {
-		p.data = sys.newPageBuf(true)
-	}
 }

@@ -56,6 +56,9 @@ func (t *Thread) ReduceF64(id int, v float64, op ReduceOp) float64 {
 	n := t.node
 	r := n.reduces[id]
 	if r == nil {
+		if n.reduces == nil {
+			n.reduces = make(map[int]*nodeReduce)
+		}
 		r = &nodeReduce{}
 		n.reduces[id] = r
 	}
@@ -95,6 +98,9 @@ func (t *Thread) ReduceF64(id int, v float64, op ReduceOp) float64 {
 func (s *System) reduceArrival(id int, v float64, op ReduceOp) {
 	ep := s.reduceEpisodes[id]
 	if ep == nil {
+		if s.reduceEpisodes == nil {
+			s.reduceEpisodes = make(map[int]*reduceEpisode)
+		}
 		ep = &reduceEpisode{}
 		s.reduceEpisodes[id] = ep
 	}

@@ -67,6 +67,9 @@ type swFault struct {
 func (n *node) swDirFor(pg PageID) *swDir {
 	d := n.swdir[pg]
 	if d == nil {
+		if n.swdir == nil {
+			n.swdir = make(map[PageID]*swDir)
+		}
 		d = &swDir{owner: n.id, copyset: 1 << uint(n.id)}
 		n.swdir[pg] = d
 	}
@@ -94,7 +97,7 @@ func (t *Thread) swEnsureAccess(p *page, write bool) {
 				if nm := n.met; nm != nil {
 					d := t.task.Now() - wstart
 					nm.FaultThreadWait.Observe(int64(d))
-					t.sys.met.PageFaultWait(int32(p.id), d)
+					t.sys.met.PageFaultWait(t.node.id, int32(p.id), d)
 				}
 				continue
 			}
@@ -134,7 +137,7 @@ func (t *Thread) swEnsureAccess(p *page, write bool) {
 			if nm := n.met; nm != nil {
 				d := t.task.Now() - wstart
 				nm.FaultThreadWait.Observe(int64(d))
-				t.sys.met.PageFaultWait(int32(p.id), d)
+				t.sys.met.PageFaultWait(t.node.id, int32(p.id), d)
 			}
 			// Completion installed the page and cleared p.swf; loop to
 			// validate the new access rights.
@@ -205,7 +208,7 @@ func (n *node) swTransfer(pg PageID, d *swDir) {
 		target := sys.nodes[req.node]
 		p := target.pageAt(pg)
 		if req.write {
-			p.materialize(sys)
+			target.materialize(p)
 			p.state = PageReadWrite
 		} else if p.state != PageReadWrite {
 			p.state = PageReadOnly
@@ -253,7 +256,7 @@ func (n *node) swTransfer(pg PageID, d *swDir) {
 			dst := sys.nodes[req.node]
 			p := dst.pageAt(pg)
 			if data != nil {
-				p.materialize(sys)
+				dst.materialize(p)
 				copy(p.data, data)
 			}
 			finish()
@@ -270,10 +273,10 @@ func (n *node) swComplete(p *page) {
 	p.swf = nil
 	n.inFlightFaults--
 	if nm := n.met; nm != nil {
-		nm.FaultService.Observe(int64(n.sys.eng.Now() - f.start))
+		nm.FaultService.Observe(int64(n.proc.LocalNow() - f.start))
 	}
 	if tr := n.sys.tracer; tr != nil {
-		tr.Emit(trace.Event{T: n.sys.eng.Now(), Kind: trace.KindFaultResolve,
+		tr.Emit(trace.Event{T: n.proc.LocalNow(), Kind: trace.KindFaultResolve,
 			Node: int32(n.id), Thread: -1, Page: int32(p.id)})
 	}
 	for _, w := range f.waiters {
@@ -285,7 +288,7 @@ func (n *node) swComplete(p *page) {
 // local event when from == to.
 func (n *node) swSend(to int, bytes int, fn func()) {
 	if to == n.id {
-		n.sys.eng.Schedule(n.sys.eng.Now(), fn)
+		n.sys.eng.ScheduleOn(n.proc, n.proc.LocalNow(), fn)
 		return
 	}
 	n.sys.sendFromHandler(netsim.NodeID(n.id), netsim.NodeID(to),

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"cvm/internal/memsim"
 	"cvm/internal/metrics"
@@ -67,6 +66,24 @@ type Config struct {
 	// metrics on or off. A Registry serves exactly one System.
 	Metrics *metrics.Registry
 
+	// EngineWorkers selects the discrete-event execution mode. 0 (the
+	// default) is the classic sequential global-horizon loop. Any value
+	// ≥ 1 switches to the conservative windowed engine, which partitions
+	// event execution by node and advances all nodes window by window,
+	// with windows derived from the network's one-way latency lower
+	// bound; values > 1 dispatch the nodes of each window across that
+	// many OS workers. Results are byte-identical at every worker count
+	// (the windowed schedule itself, not the worker count, is what can
+	// shift timing relative to mode 0 — see DESIGN.md §10).
+	EngineWorkers int
+
+	// NoPagePooling disables the per-node page-backing arena: page
+	// copies and twins are freshly allocated on demand and never reuse
+	// backing storage. Simulation results are identical either way; the
+	// span benchmarks use it to keep the pooled and unpooled allocation
+	// profiles separately measurable.
+	NoPagePooling bool
+
 	// Faults, when non-nil and active, injects deterministic failures:
 	// network drops/duplications/reordering/jitter (routed through the
 	// reliable transport so the protocol still completes correctly) and
@@ -121,6 +138,8 @@ type Segment struct {
 // memory systems, DSM state, and the application threads.
 type System struct {
 	cfg       Config
+	engv      sim.Engine     // the engine, embedded; eng points here
+	netv      netsim.Network // the interconnect, embedded; net points here
 	eng       *sim.Engine
 	net       *netsim.Network
 	nodes     []*node
@@ -129,15 +148,22 @@ type System struct {
 	segments  []Segment
 	allocated Addr
 
-	episodes       map[int]*barrierEpisode
-	reduceEpisodes map[int]*reduceEpisode
+	episodes       map[int]*barrierEpisode // lazily created
+	reduceEpisodes map[int]*reduceEpisode  // lazily created
 
-	threadByTask map[int]*Thread
-	started      bool
-	t0           sim.Time
+	started bool
+	t0      sim.Time
+
+	// pendingReset defers a MarkSteadyState issued inside a parallel
+	// window to the next window commit; -1 means none pending.
+	pendingReset sim.Time
 
 	// tracer mirrors cfg.Tracer; hot paths nil-check this field.
+	// Under the windowed engine it points at demux, which buffers
+	// per-node and releases to cfg.Tracer in canonical order at every
+	// window commit.
 	tracer trace.Tracer
+	demux  *trace.Demux
 
 	// met mirrors cfg.Metrics; hot paths nil-check the per-node
 	// *metrics.NodeMetrics instead where one exists.
@@ -147,33 +173,6 @@ type System struct {
 	// cfg.Faults enables network faults; every protocol send checks it
 	// via the sendFromTask/sendFromHandler wrappers.
 	transport *transport
-
-	// pageBufs recycles page-sized byte buffers. Twins churn hardest —
-	// one allocation per write-collection episode per page — and every
-	// closed interval frees one; page copies draw from the same pool.
-	pageBufs sync.Pool
-}
-
-// newPageBuf returns a page-sized buffer, zeroed when zero is set
-// (materialized pages must read as zeros; twins are fully overwritten by
-// the caller and skip the clear).
-func (s *System) newPageBuf(zero bool) []byte {
-	if v := s.pageBufs.Get(); v != nil {
-		buf := v.([]byte)
-		if zero {
-			clear(buf)
-		}
-		return buf
-	}
-	return make([]byte, s.cfg.PageSize)
-}
-
-// recyclePageBuf returns a buffer to the pool. Callers must drop every
-// alias first (diff runs copy their data out, so twins are safe).
-func (s *System) recyclePageBuf(buf []byte) {
-	if len(buf) == s.cfg.PageSize {
-		s.pageBufs.Put(buf)
-	}
 }
 
 // NewSystem builds a cluster from cfg.
@@ -184,18 +183,18 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Mem.PageSize != cfg.PageSize {
 		cfg.Mem.PageSize = cfg.PageSize
 	}
-	eng := sim.NewEngine()
 	s := &System{
-		cfg:            cfg,
-		eng:            eng,
-		net:            netsim.New(eng, cfg.Nodes, cfg.Net),
-		pageShift:      log2(cfg.PageSize),
-		episodes:       make(map[int]*barrierEpisode),
-		reduceEpisodes: make(map[int]*reduceEpisode),
-		threadByTask:   make(map[int]*Thread),
-		tracer:         cfg.Tracer,
-		met:            cfg.Metrics,
+		cfg:          cfg,
+		pageShift:    log2(cfg.PageSize),
+		tracer:       cfg.Tracer,
+		met:          cfg.Metrics,
+		pendingReset: -1,
 	}
+	s.engv.Init()
+	s.eng = &s.engv
+	s.netv.Init(s.eng, cfg.Nodes, cfg.Net)
+	s.net = &s.netv
+	eng := s.eng
 	s.net.SetTracer(cfg.Tracer)
 	if s.met != nil {
 		classes := netsim.Classes()
@@ -209,8 +208,7 @@ func NewSystem(cfg Config) (*System, error) {
 	for i := 0; i < cfg.Nodes; i++ {
 		proc := eng.AddProc(cfg.SwitchCost)
 		proc.SetLIFO(cfg.LIFOScheduler)
-		mem := memsim.NewSystem(cfg.Mem)
-		s.nodes = append(s.nodes, newNode(s, i, proc, mem))
+		s.nodes = append(s.nodes, newNode(s, i, proc))
 	}
 	if fp := cfg.Faults; fp != nil {
 		if err := fp.Validate(cfg.Nodes); err != nil {
@@ -231,8 +229,40 @@ func NewSystem(cfg Config) (*System, error) {
 			s.nodes[sl.Node].proc.InjectSlowdown(sl.From, sl.To, sl.Factor)
 		}
 	}
+	if cfg.EngineWorkers > 0 {
+		// Conservative windowed parallel engine: per-node work runs
+		// concurrently inside lookahead-bounded windows, cross-node
+		// messages defer to the window commit. The lookahead is the
+		// interconnect's one-way latency lower bound, which every
+		// protocol interaction pays before touching another node.
+		eng.SetConservative(cfg.EngineWorkers, cfg.Net.Lookahead())
+		eng.SetWindowHook(s.commitWindow)
+		s.net.SetDeferred(true)
+		if s.tracer != nil {
+			s.demux = trace.NewDemux(cfg.Nodes, s.tracer)
+			s.tracer = s.demux
+			s.net.SetTracer(s.demux)
+		}
+	}
 	eng.SetReasonNamer(reasonName)
 	return s, nil
+}
+
+// commitWindow is the engine's window hook: with every proc quiescent at
+// the window boundary it applies a deferred steady-state reset, commits
+// the deferred network traffic, and releases the window's trace events
+// in canonical order. Each step is a pure function of simulation state,
+// keeping the commit identical at every worker count.
+func (s *System) commitWindow(limit sim.Time) {
+	if s.pendingReset >= 0 {
+		t0 := s.pendingReset
+		s.pendingReset = -1
+		s.applySteadyReset(t0)
+	}
+	s.net.CommitWindow(limit)
+	if s.demux != nil {
+		s.demux.Flush(limit)
+	}
 }
 
 // reasonName names the core block reasons in engine deadlock reports.
@@ -286,24 +316,22 @@ func (s *System) Start(main func(*Thread)) error {
 	s.started = true
 	totalPages := int(s.allocated) >> s.pageShift
 	for _, n := range s.nodes {
-		n.pages = make([]*page, totalPages)
+		n.initPages(totalPages)
 	}
 	for i := 0; i < s.cfg.Nodes; i++ {
 		n := s.nodes[i]
-		for j := 0; j < s.cfg.ThreadsPerNode; j++ {
-			th := &Thread{
-				node: n,
-				sys:  s,
-				gid:  i*s.cfg.ThreadsPerNode + j,
-				lid:  j,
-			}
-			name := fmt.Sprintf("n%dt%d", i, j)
-			task := s.eng.Spawn(n.proc, name, func(tk *sim.Task) {
-				main(th)
-			})
-			th.task = task
-			n.threads = append(n.threads, th)
-			s.threadByTask[task.ID()] = th
+		n.threads = make([]Thread, s.cfg.ThreadsPerNode)
+		for j := range n.threads {
+			th := &n.threads[j]
+			th.node = n
+			th.sys = s
+			th.gid = i*s.cfg.ThreadsPerNode + j
+			th.lid = j
+			th.main = main
+			// Threads implement sim.Runner and carry precomputed names,
+			// so spawning allocates neither a closure nor a string for
+			// common cluster shapes.
+			th.task = s.eng.SpawnRunner(n.proc, threadName(i, j), th)
 		}
 	}
 	return nil
@@ -327,10 +355,53 @@ func (s *System) Run() (err error) {
 			err = tf.error()
 		}
 	}()
+	defer func() {
+		// Release trace events still buffered past the final window
+		// commit (including the tail of a failed run).
+		if s.demux != nil {
+			s.demux.FlushAll()
+		}
+	}()
 	return s.eng.Run()
 }
 
-func (s *System) threadOf(task *sim.Task) *Thread { return s.threadByTask[task.ID()] }
+// threadOf maps an engine task back to its application thread. Threads
+// are spawned in global-ID order, so a thread's task ID equals its gid;
+// the identity check rejects any other task.
+func (s *System) threadOf(task *sim.Task) *Thread {
+	if task == nil {
+		return nil
+	}
+	tpn := s.cfg.ThreadsPerNode
+	id := task.ID()
+	if id >= s.cfg.Nodes*tpn {
+		return nil
+	}
+	th := &s.nodes[id/tpn].threads[id%tpn]
+	if th.task != task {
+		return nil
+	}
+	return th
+}
+
+// threadNames precomputes the diagnostic names of threads in common
+// cluster shapes so Start does not allocate one string per thread.
+var threadNames [16][16]string
+
+func init() {
+	for i := range threadNames {
+		for j := range threadNames[i] {
+			threadNames[i][j] = fmt.Sprintf("n%dt%d", i, j)
+		}
+	}
+}
+
+func threadName(i, j int) string {
+	if i < len(threadNames) && j < len(threadNames[i]) {
+		return threadNames[i][j]
+	}
+	return fmt.Sprintf("n%dt%d", i, j)
+}
 
 // MarkSteadyState zeroes every statistics counter and sets the time
 // origin, so that reported results cover only the steady-state portion of
@@ -338,7 +409,24 @@ func (s *System) threadOf(task *sim.Task) *Thread { return s.threadByTask[task.I
 // initialization barrier, mirroring the paper's exclusion of startup.
 func (t *Thread) MarkSteadyState() {
 	s := t.sys
-	s.t0 = t.task.Now()
+	if s.cfg.EngineWorkers > 0 {
+		// Other procs are mid-window; defer the reset to the next
+		// window commit, where the engine is quiescent. The reset
+		// instant recorded is still this thread's call time, so t0 and
+		// the metrics epoch match the sequential semantics.
+		if s.pendingReset < 0 || t.task.Now() < s.pendingReset {
+			s.pendingReset = t.task.Now()
+		}
+		return
+	}
+	s.applySteadyReset(t.task.Now())
+}
+
+// applySteadyReset performs the MarkSteadyState reset with the engine
+// quiescent (thread context in sequential mode, the window commit in
+// windowed mode).
+func (s *System) applySteadyReset(t0 sim.Time) {
+	s.t0 = t0
 	s.net.ResetStats()
 	for _, n := range s.nodes {
 		n.stats = NodeStats{}
@@ -347,7 +435,7 @@ func (t *Thread) MarkSteadyState() {
 	if s.met != nil {
 		// Metrics reset at the same instant as the statistics, so
 		// histogram sums keep reconciling exactly with NodeStats.
-		s.met.Reset(s.t0)
+		s.met.Reset(t0)
 		s.net.SetMetrics(s.met.Net())
 		for _, n := range s.nodes {
 			n.met = s.met.Node(n.id)
@@ -367,7 +455,11 @@ type RunStats struct {
 
 // Stats collects the run's statistics. Call after Run returns.
 func (s *System) Stats() RunStats {
-	rs := RunStats{Net: s.net.Stats()}
+	rs := RunStats{
+		Net:   s.net.Stats(),
+		Nodes: make([]NodeStats, 0, len(s.nodes)),
+		Mem:   make([]memsim.Stats, 0, len(s.nodes)),
+	}
 	for _, n := range s.nodes {
 		rs.Nodes = append(rs.Nodes, n.stats)
 		rs.Total.Add(n.stats)

@@ -17,12 +17,16 @@ type Thread struct {
 	node *node
 	sys  *System
 
-	gid int // global thread id: node*threadsPerNode + lid
-	lid int // local thread id within the node
+	gid  int // global thread id: node*threadsPerNode + lid
+	lid  int // local thread id within the node
+	main func(*Thread)
 
 	phase   int // application code phase, for the I-TLB model
 	codeRot int
 }
+
+// RunTask implements sim.Runner: the task body of an application thread.
+func (t *Thread) RunTask(*sim.Task) { t.main(t) }
 
 // GlobalID reports the thread's global index in [0, Threads()).
 // Threads are numbered contiguously per node, so consecutive IDs are

@@ -106,23 +106,26 @@ func newTransport(s *System, rto sim.Time, maxRetries int) *transport {
 	if maxRetries <= 0 {
 		maxRetries = DefaultMaxRetries
 	}
-	return &transport{
+	tr := &transport{
 		sys:        s,
 		nodes:      s.cfg.Nodes,
 		rto:        rto,
 		maxRetries: maxRetries,
 		chans:      make([]*tchan, s.cfg.Nodes*s.cfg.Nodes),
 	}
+	// Channels are created eagerly so the windowed engine never
+	// allocates one from two procs concurrently; each tchan's fields
+	// are then owned by exactly one proc (sender side by `from`,
+	// dedupe side by `to`), with the inter-window barrier ordering the
+	// cross-side seq handoff.
+	for i := range tr.chans {
+		tr.chans[i] = &tchan{pending: make(map[uint64]*pendingMsg), seen: make(map[uint64]bool)}
+	}
+	return tr
 }
 
 func (tr *transport) chanFor(from, to netsim.NodeID) *tchan {
-	i := int(from)*tr.nodes + int(to)
-	ch := tr.chans[i]
-	if ch == nil {
-		ch = &tchan{pending: make(map[uint64]*pendingMsg), seen: make(map[uint64]bool)}
-		tr.chans[i] = ch
-	}
-	return ch
+	return tr.chans[int(from)*tr.nodes+int(to)]
 }
 
 // send transmits one protocol message reliably. task is non-nil for
@@ -140,7 +143,8 @@ func (tr *transport) send(task *sim.Task, from, to netsim.NodeID, class netsim.C
 		return
 	}
 	tr.sys.net.SendFromHandler(from, to, class, bytes, tr.recvFunc(pm))
-	tr.sys.eng.Schedule(tr.sys.eng.Now()+tr.rto, func() { tr.checkAck(pm) })
+	fp := tr.sys.nodes[from].proc
+	tr.sys.eng.ScheduleOn(fp, fp.LocalNow()+tr.rto, func() { tr.checkAck(pm) })
 }
 
 // recvFunc wraps a message's delivery for the receiver: ack, dedupe,
@@ -164,10 +168,10 @@ func (tr *transport) recvFunc(pm *pendingMsg) func() {
 			rcv := sys.nodes[pm.to]
 			rcv.stats.DupsSuppressed++
 			if sys.met != nil {
-				sys.met.CountDupSuppressed()
+				sys.met.CountDupSuppressed(int(pm.to))
 			}
 			if t := sys.tracer; t != nil {
-				t.Emit(trace.Event{T: sys.eng.Now(), Kind: trace.KindDupSuppress,
+				t.Emit(trace.Event{T: sys.nodes[pm.to].proc.LocalNow(), Kind: trace.KindDupSuppress,
 					Node: int32(pm.to), Thread: -1, Peer: int32(pm.from),
 					Sync: int32(pm.class), Aux: int64(seq)})
 			}
@@ -200,20 +204,21 @@ func (tr *transport) checkAck(pm *pendingMsg) {
 		// Fail loudly: unwound through eng.Run and recovered by
 		// System.Run, which shuts the engine down and reports the
 		// message's coordinates.
-		panic(&transportFailure{at: sys.eng.Now(), from: pm.from, to: pm.to,
+		panic(&transportFailure{at: sys.nodes[pm.from].proc.LocalNow(), from: pm.from, to: pm.to,
 			class: pm.class, seq: pm.seq, attempts: pm.attempt})
 	}
 	sys.nodes[pm.from].stats.Retransmits++
 	if sys.met != nil {
-		sys.met.CountRetransmit()
+		sys.met.CountRetransmit(int(pm.from))
 	}
 	if t := sys.tracer; t != nil {
-		t.Emit(trace.Event{T: sys.eng.Now(), Kind: trace.KindRetransmit,
+		t.Emit(trace.Event{T: sys.nodes[pm.from].proc.LocalNow(), Kind: trace.KindRetransmit,
 			Node: int32(pm.from), Thread: -1, Peer: int32(pm.to),
 			Sync: int32(pm.class), Aux: int64(pm.seq), Arg: int64(pm.attempt)})
 	}
 	sys.net.SendFromHandler(pm.from, pm.to, pm.class, pm.bytes, tr.recvFunc(pm))
-	sys.eng.Schedule(sys.eng.Now()+tr.rto<<uint(pm.attempt), func() { tr.checkAck(pm) })
+	fp := sys.nodes[pm.from].proc
+	sys.eng.ScheduleOn(fp, fp.LocalNow()+tr.rto<<uint(pm.attempt), func() { tr.checkAck(pm) })
 }
 
 // sendFromTask routes a task-context protocol send through the reliable

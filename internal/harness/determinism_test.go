@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"testing"
+
+	"cvm"
+	"cvm/internal/apps"
+)
+
+// TestGuardDeterminismFaultFree proves byte-identical artifacts across
+// three worker counts on a fault-free run (the acceptance bar).
+func TestGuardDeterminismFaultFree(t *testing.T) {
+	if err := GuardDeterminism("sor", apps.SizeTest, 4, 4, []int{1, 2, 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGuardDeterminismUnderFaults proves the same identity under an
+// adversarial fault schedule: fault rolls consume PRNG state in
+// delivery order, so any commit-order nondeterminism would surface as
+// divergent retransmission counts or checksums.
+func TestGuardDeterminismUnderFaults(t *testing.T) {
+	fp, err := cvm.ParseFaults("drop=0.02,dup=0.01,reorder=0.02,jitter=300us", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := GuardDeterminism("waternsq", apps.SizeTest, 4, 2, []int{1, 2, 4}, fp); err != nil {
+		t.Fatal(err)
+	}
+}

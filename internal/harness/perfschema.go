@@ -13,7 +13,37 @@ type PerfBaseline struct {
 
 	Grid PerfGrid `json:"grid"`
 
+	// Engine is the intra-run parallelism section: the same small grid
+	// on the conservative windowed engine at 1 worker and at
+	// Engine.Workers workers, with byte-identical results required.
+	Engine PerfEngine `json:"engine"`
+
+	// Phases are the perf experiment's per-phase host wall times, each
+	// tagged with the concurrency that produced it (grid-pool workers
+	// for the grid phases, engine workers for the engine phases).
+	Phases []PerfPhase `json:"phases,omitempty"`
+
 	Micro []MicroResult `json:"micro"`
+}
+
+// PerfEngine is the conservative-windowed-engine portion of a perf
+// baseline. Speedup compares one engine worker against Workers engine
+// workers on the same host; on a single-core host it records the
+// window-coordination overhead rather than a speedup (see DESIGN §6).
+type PerfEngine struct {
+	Workers    int     `json:"workers"`
+	Cores      int     `json:"cores"`
+	SeqSeconds float64 `json:"seq_seconds"`
+	ParSeconds float64 `json:"par_seconds"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"results_identical"`
+}
+
+// PerfPhase is one perf-experiment phase's host wall time.
+type PerfPhase struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
 }
 
 // PerfGrid is the grid-throughput portion of a perf baseline.

@@ -84,22 +84,23 @@ func (s *Stats) Add(other Stats) {
 }
 
 // assoc is a set-associative tag array with per-set LRU replacement. It
-// backs both the cache and the TLBs.
+// backs both the cache and the TLBs. The tag and stamp arrays are slices
+// of one shared backing array (see System.Init), so a whole hierarchy
+// costs a single allocation.
 type assoc struct {
 	sets  int
 	ways  int
 	tags  []uint64 // sets*ways entries; tag 0 means empty (tags stored +1)
-	stamp []int64  // LRU stamps, parallel to tags
-	tick  int64
+	stamp []uint64 // LRU stamps, parallel to tags
+	tick  uint64
 }
 
-func newAssoc(sets, ways int) *assoc {
-	return &assoc{
-		sets:  sets,
-		ways:  ways,
-		tags:  make([]uint64, sets*ways),
-		stamp: make([]int64, sets*ways),
-	}
+func (a *assoc) init(sets, ways int, backing []uint64) {
+	n := sets * ways
+	a.sets = sets
+	a.ways = ways
+	a.tags = backing[:n:n]
+	a.stamp = backing[n : 2*n : 2*n]
 }
 
 // touch looks up key; it returns true on hit. On miss the LRU way of the
@@ -136,12 +137,13 @@ func (a *assoc) find(key uint64) int {
 	return -1
 }
 
-// System simulates one node's memory hierarchy.
+// System simulates one node's memory hierarchy. The zero value is not
+// ready for use; construct with NewSystem or embed and call Init.
 type System struct {
 	params Params
-	dcache *assoc
-	dtlb   *assoc
-	itlb   *assoc
+	dcache assoc
+	dtlb   assoc
+	itlb   assoc
 	stats  Stats
 
 	lineShift uint
@@ -161,16 +163,30 @@ const invalidLine = ^uint64(0)
 
 // NewSystem returns a memory system with the given geometry.
 func NewSystem(p Params) *System {
+	s := new(System)
+	s.Init(p)
+	return s
+}
+
+// Init configures s in place with the given geometry, replacing any
+// previous state. It exists so a System can be embedded by value in a
+// larger per-node structure; the whole hierarchy then costs one backing
+// allocation.
+func (s *System) Init(p Params) {
 	cacheSets := p.CacheSize / (p.LineSize * p.CacheWays)
-	return &System{
+	nc := cacheSets * p.CacheWays
+	nd := p.DTLBSets * p.DTLBWays
+	ni := p.ITLBSets * p.ITLBWays
+	backing := make([]uint64, 2*(nc+nd+ni))
+	*s = System{
 		params:    p,
-		dcache:    newAssoc(cacheSets, p.CacheWays),
-		dtlb:      newAssoc(p.DTLBSets, p.DTLBWays),
-		itlb:      newAssoc(p.ITLBSets, p.ITLBWays),
 		lineShift: log2(p.LineSize),
 		pageShift: log2(p.PageSize),
 		lastLine:  invalidLine,
 	}
+	s.dcache.init(cacheSets, p.CacheWays, backing[:2*nc])
+	s.dtlb.init(p.DTLBSets, p.DTLBWays, backing[2*nc:2*(nc+nd)])
+	s.itlb.init(p.ITLBSets, p.ITLBWays, backing[2*(nc+nd):])
 }
 
 // Params returns the system's geometry.
@@ -300,12 +316,12 @@ func (s *System) InstrTouchCycle(base uint64, mod, start, cnt int) sim.Time {
 	}
 	// The remaining cnt-mod touches are guaranteed hits; replay their
 	// tick and stamp effects in bulk.
-	s.itlb.tick = tick0 + int64(cnt)
+	s.itlb.tick = tick0 + uint64(cnt)
 	for c := 0; c < mod; c++ {
 		// Last step i in 1..cnt with (start+i) % mod == c.
 		last := cnt - (start+cnt-c)%mod
 		if w := s.itlb.find(base + uint64(c)); w >= 0 {
-			s.itlb.stamp[w] = tick0 + int64(last)
+			s.itlb.stamp[w] = tick0 + uint64(last)
 		}
 	}
 	return cost

@@ -180,7 +180,8 @@ func TestStatsAdd(t *testing.T) {
 func TestAssocPropertyHitAfterTouch(t *testing.T) {
 	// Property: immediately re-touching any key is always a hit.
 	f := func(keys []uint64) bool {
-		a := newAssoc(16, 4)
+		a := new(assoc)
+		a.init(16, 4, make([]uint64, 2*16*4))
 		for _, k := range keys {
 			a.touch(k)
 			if !a.touch(k) {
@@ -199,7 +200,8 @@ func TestAssocPropertyWorkingSetFits(t *testing.T) {
 	// misses after the first round.
 	f := func(seed uint8) bool {
 		const sets, ways = 8, 4
-		a := newAssoc(sets, ways)
+		a := new(assoc)
+		a.init(sets, ways, make([]uint64, 2*sets*ways))
 		keys := make([]uint64, 0, sets*ways)
 		for s := 0; s < sets; s++ {
 			for w := 0; w < ways; w++ {

@@ -336,6 +336,23 @@ type Registry struct {
 	maxBins    int
 	epoch      sim.Time
 	snap       Snapshot
+
+	// shards hold the observations that hot paths attribute to a known
+	// node: wait attribution, timeline clipping, and transport counters.
+	// Keeping them per node lets the conservative windowed engine observe
+	// from concurrent per-node workers without locks; Snapshot folds the
+	// shards in node order, and every fold operation is commutative, so
+	// the folded snapshot is byte-identical at any worker count.
+	shards []regShard
+}
+
+// regShard is one node's lock-free observation shard.
+type regShard struct {
+	pageWait      map[int32]*WaitAttr
+	lockWait      map[int32]*WaitAttr
+	clippedNs     int64
+	retransmits   int64
+	dupSuppressed int64
 }
 
 // DefaultTimelineInterval is the default utilization-timeline bin width.
@@ -383,6 +400,13 @@ func (r *Registry) Configure(nodes int, msgClasses []string) {
 	r.snap.LockWait = make(map[int32]*WaitAttr)
 	r.snap.Timeline = make([][]TimelineBin, nodes)
 	r.snap.IntervalNs.Set(int64(r.interval))
+	r.shards = make([]regShard, nodes)
+	for i := range r.shards {
+		r.shards[i] = regShard{
+			pageWait: make(map[int32]*WaitAttr),
+			lockWait: make(map[int32]*WaitAttr),
+		}
+	}
 }
 
 // Node returns node i's metrics struct for hot-path observation.
@@ -391,14 +415,16 @@ func (r *Registry) Node(i int) *NodeMetrics { return &r.snap.Nodes[i] }
 // Net returns the interconnect metrics for hot-path observation.
 func (r *Registry) Net() *NetMetrics { return &r.snap.Net }
 
-// PageFaultWait attributes d of fault-blocked thread time to page pg.
-func (r *Registry) PageFaultWait(pg int32, d sim.Time) {
-	attrAdd(r.snap.PageWait, pg, d)
+// PageFaultWait attributes d of fault-blocked thread time on node to
+// page pg.
+func (r *Registry) PageFaultWait(node int, pg int32, d sim.Time) {
+	attrAdd(r.shards[node].pageWait, pg, d)
 }
 
-// LockAcquireWait attributes d of lock-blocked thread time to lock id.
-func (r *Registry) LockAcquireWait(id int32, d sim.Time) {
-	attrAdd(r.snap.LockWait, id, d)
+// LockAcquireWait attributes d of lock-blocked thread time on node to
+// lock id.
+func (r *Registry) LockAcquireWait(node int, id int32, d sim.Time) {
+	attrAdd(r.shards[node].lockWait, id, d)
 }
 
 // FaultCounters exposes the network-layer fault counters for the fault
@@ -409,11 +435,11 @@ func (r *Registry) FaultCounters() (dropped, dupped *Counter) {
 	return &r.snap.NetDropped, &r.snap.NetDuplicated
 }
 
-// CountRetransmit records one reliable-transport retransmission.
-func (r *Registry) CountRetransmit() { r.snap.Retransmits.Add(1) }
+// CountRetransmit records one reliable-transport retransmission by node.
+func (r *Registry) CountRetransmit(node int) { r.shards[node].retransmits++ }
 
-// CountDupSuppressed records one deduped replayed delivery.
-func (r *Registry) CountDupSuppressed() { r.snap.DupSuppressed.Add(1) }
+// CountDupSuppressed records one deduped replayed delivery at node.
+func (r *Registry) CountDupSuppressed(node int) { r.shards[node].dupSuppressed++ }
 
 func attrAdd(m map[int32]*WaitAttr, k int32, d sim.Time) {
 	a := m[k]
@@ -440,7 +466,7 @@ func (r *Registry) TimelineAdd(node int, start, end sim.Time, comp int) {
 	for start < end {
 		i := int((start - r.epoch) / r.interval)
 		if i >= r.maxBins {
-			r.snap.TimelineClippedNs.Add(int64(end - start))
+			r.shards[node].clippedNs += int64(end - start)
 			break
 		}
 		for len(bins) <= i {
@@ -469,8 +495,40 @@ func (r *Registry) Reset(epoch sim.Time) {
 	r.snap.EpochNs.Set(int64(epoch))
 }
 
-// Snapshot returns a deep copy of the collected metrics.
-func (r *Registry) Snapshot() *Snapshot { return r.snap.Clone() }
+// Snapshot returns a deep copy of the collected metrics, folding the
+// per-node shards in node order.
+func (r *Registry) Snapshot() *Snapshot {
+	out := r.snap.Clone()
+	if out.PageWait == nil {
+		out.PageWait = make(map[int32]*WaitAttr)
+	}
+	if out.LockWait == nil {
+		out.LockWait = make(map[int32]*WaitAttr)
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		for k, a := range sh.pageWait {
+			mergeAttr(out.PageWait, k, a)
+		}
+		for k, a := range sh.lockWait {
+			mergeAttr(out.LockWait, k, a)
+		}
+		out.TimelineClippedNs.Add(sh.clippedNs)
+		out.Retransmits.Add(sh.retransmits)
+		out.DupSuppressed.Add(sh.dupSuppressed)
+	}
+	return out
+}
+
+func mergeAttr(m map[int32]*WaitAttr, k int32, a *WaitAttr) {
+	dst := m[k]
+	if dst == nil {
+		dst = &WaitAttr{}
+		m[k] = dst
+	}
+	dst.WaitNs += a.WaitNs
+	dst.Count += a.Count
+}
 
 // hotEntry is one row of a derived top-N table.
 type hotEntry struct {

@@ -178,8 +178,8 @@ func TestTimelineAddClips(t *testing.T) {
 	if bins[3].BarrierNs != 5 {
 		t.Fatalf("last bin BarrierNs = %d, want 5", bins[3].BarrierNs)
 	}
-	if int64(r.snap.TimelineClippedNs) != 55 {
-		t.Fatalf("TimelineClippedNs = %d, want 55", r.snap.TimelineClippedNs)
+	if got := int64(r.Snapshot().TimelineClippedNs); got != 55 {
+		t.Fatalf("TimelineClippedNs = %d, want 55", got)
 	}
 }
 
@@ -286,8 +286,8 @@ func registryWithData(k int64) *Registry {
 	r.Node(0).UserBurst.Observe(k * 10)
 	r.Node(1).Lock2Hop.Observe(k * 100)
 	r.Net().Latency[1].Observe(k * 7)
-	r.PageFaultWait(9, sim.Time(k*1000))
-	r.LockAcquireWait(4, sim.Time(k*500))
+	r.PageFaultWait(0, 9, sim.Time(k*1000))
+	r.LockAcquireWait(0, 4, sim.Time(k*500))
 	r.TimelineAdd(0, 0, sim.Time(k)*r.interval, TimelineUser)
 	r.snap.TimelineClippedNs.Add(k)
 	return r

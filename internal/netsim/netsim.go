@@ -11,6 +11,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"cvm/internal/metrics"
 	"cvm/internal/sim"
@@ -90,6 +91,21 @@ func (p Params) OneWay(bytes int) sim.Time {
 	return p.SendOverhead + p.transfer(bytes) + p.WireLatency + p.RecvOverhead
 }
 
+// Lookahead reports a lower bound on the time between a message being
+// handed to the network on one node and its handler running on another:
+// wire latency plus receive overhead. The conservative parallel engine
+// uses this bound as its window lookahead, so it must hold from the
+// instant the message is recorded (the deferred outbox append), not from
+// send initiation. Send overhead is deliberately excluded: a task can
+// charge it across a window boundary — entering the send before W0 and
+// reaching the outbox just after — in which case only the charge's tail
+// lands inside the window. Departure time, payload transfer,
+// egress/ingress queueing, and fault-injected delays only add to the
+// bound.
+func (p Params) Lookahead() sim.Time {
+	return p.WireLatency + p.RecvOverhead
+}
+
 // Stats holds cumulative per-class message and byte counts.
 type Stats struct {
 	Msgs  [numClasses]int64
@@ -142,24 +158,65 @@ type Network struct {
 	// per-directed-channel message counters keying the fault PRNG; fstats
 	// counts injected faults; the counters mirror drops/dups into the
 	// metrics snapshot.
-	faults           *FaultParams
-	chanIdx          []uint64
-	fstats           FaultStats
+	faults            *FaultParams
+	chanIdx           []uint64
+	fstats            FaultStats
 	cDropped, cDupped *metrics.Counter
+
+	// Deferred mode (SetDeferred), used by the conservative windowed
+	// engine: sends enqueue in per-sender outboxes instead of scheduling
+	// deliveries immediately, and CommitWindow drains them between
+	// windows. Egress serialization is still resolved at send time (it
+	// is sender-local); everything that touches receiver or global state
+	// — ingress serialization, traffic accounting, fault rolls, message
+	// ids, delivery scheduling — moves to the commit.
+	deferred bool
+	outbox   [][]wireMsg
+}
+
+// wireMsg is one deferred message waiting in its sender's outbox.
+type wireMsg struct {
+	sendT      sim.Time // send initiation, for deterministic commit order
+	depart     sim.Time // egress departure (send-time computed)
+	egressWait sim.Time // sender-NIC serialization delay, observed at commit
+	to         NodeID
+	class      Class
+	bytes      int
+	deliver    func()
 }
 
 // New returns a network connecting nodes 0..nodes-1.
 func New(eng *sim.Engine, nodes int, params Params) *Network {
-	return &Network{
+	n := new(Network)
+	n.Init(eng, nodes, params)
+	return n
+}
+
+// Init configures n in place to connect nodes 0..nodes-1, replacing any
+// previous state. It exists so a Network can be embedded by value in a
+// larger system; egress and ingress share one backing allocation.
+func (n *Network) Init(eng *sim.Engine, nodes int, params Params) {
+	free := make([]sim.Time, 2*nodes)
+	*n = Network{
 		eng:         eng,
 		params:      params,
-		egressFree:  make([]sim.Time, nodes),
-		ingressFree: make([]sim.Time, nodes),
+		egressFree:  free[:nodes:nodes],
+		ingressFree: free[nodes:],
 	}
 }
 
 // Params returns the network's cost parameters.
 func (n *Network) Params() Params { return n.params }
+
+// SetDeferred switches the network into deferred (windowed) delivery
+// mode. Must be set before traffic flows and requires the engine to run
+// its conservative windowed loop, whose window hook calls CommitWindow.
+func (n *Network) SetDeferred(on bool) {
+	n.deferred = on
+	if on && n.outbox == nil {
+		n.outbox = make([][]wireMsg, len(n.egressFree))
+	}
+}
 
 // SetTracer installs a protocol event tracer (nil disables tracing).
 // Every transmitted message then records a send event at egress
@@ -194,6 +251,15 @@ func (n *Network) SendFromTask(t *sim.Task, from, to NodeID, class Class, bytes 
 	}
 	t.Advance(n.params.SendOverhead)
 	depart := maxTime(t.Now(), n.egressFree[from])
+	if n.deferred {
+		wait := depart - t.Now()
+		depart += n.params.transfer(bytes)
+		n.egressFree[from] = depart
+		n.outbox[from] = append(n.outbox[from], wireMsg{
+			sendT: t.Now(), depart: depart, egressWait: wait,
+			to: to, class: class, bytes: bytes, deliver: deliver})
+		return
+	}
 	if n.met != nil {
 		n.met.EgressWait[class].Observe(int64(depart - t.Now()))
 	}
@@ -217,6 +283,17 @@ func (n *Network) SendFromTask(t *sim.Task, from, to NodeID, class Class, bytes 
 func (n *Network) SendFromHandler(from, to NodeID, class Class, bytes int, deliver func()) {
 	if from == to {
 		panic("netsim: SendFromHandler with from == to")
+	}
+	if n.deferred {
+		now := n.eng.Procs()[int(from)].LocalNow()
+		depart := maxTime(now, n.egressFree[from])
+		wait := depart - now
+		depart += n.params.SendOverhead + n.params.transfer(bytes)
+		n.egressFree[from] = depart
+		n.outbox[from] = append(n.outbox[from], wireMsg{
+			sendT: now, depart: depart, egressWait: wait,
+			to: to, class: class, bytes: bytes, deliver: deliver})
+		return
 	}
 	depart := maxTime(n.eng.Now(), n.egressFree[from])
 	if n.met != nil {
@@ -259,6 +336,46 @@ func (n *Network) arrival(depart sim.Time, from, to NodeID, class Class, bytes i
 			Sync: int32(class), Arg: int64(bytes), Aux: n.msgID})
 	}
 	return handlerAt
+}
+
+// CommitWindow drains every sender's outbox with the engine quiescent
+// between two windows of limit's window. Senders are processed in node
+// order; each sender's messages in send-initiation order (a stable sort,
+// so same-instant sends keep program order). This order is a pure
+// function of simulation state, so traffic accounting, fault rolls,
+// message ids, and ingress serialization are identical at every worker
+// count. Every delivery must land at or after limit — the lookahead
+// guarantee — or the conservative schedule would be unsound; violations
+// panic loudly.
+func (n *Network) CommitWindow(limit sim.Time) {
+	for from := range n.outbox {
+		msgs := n.outbox[from]
+		if len(msgs) == 0 {
+			continue
+		}
+		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].sendT < msgs[j].sendT })
+		for i := range msgs {
+			m := &msgs[i]
+			if n.met != nil {
+				n.met.EgressWait[m.class].Observe(int64(m.egressWait))
+			}
+			to := m.to
+			sched := func(at sim.Time, fn func()) {
+				if at < limit {
+					panic(fmt.Sprintf("netsim: delivery at %v violates lookahead bound %v (msg %v %d->%d sendT=%v depart=%v bytes=%d)",
+						at, limit, m.class, from, m.to, m.sendT, m.depart, m.bytes))
+				}
+				n.eng.ScheduleOn(n.eng.Procs()[int(to)], at, fn)
+			}
+			if n.faults != nil {
+				n.faultedSend(m.depart, NodeID(from), m.to, m.class, m.bytes, m.deliver, sched)
+			} else {
+				sched(n.arrival(m.depart, NodeID(from), m.to, m.class, m.bytes, 0), m.deliver)
+			}
+			msgs[i] = wireMsg{} // release the delivery closure
+		}
+		n.outbox[from] = msgs[:0]
+	}
 }
 
 func maxTime(a, b sim.Time) sim.Time {

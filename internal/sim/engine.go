@@ -32,18 +32,62 @@ type Engine struct {
 	live    int
 	ntasks  int
 	tasks   []*Task
-	reports chan report
 	running bool
 
 	wakes       uint64 // total WakeAt calls, for the futile-event watchdog
 	futileLimit int
 	reasonName  func(Reason) string
+
+	// Conservative windowed mode (SetConservative). windowed selects the
+	// run loop; workers is the OS-thread fan-out per window; lookahead is
+	// the cross-proc latency lower bound defining the window width; the
+	// window hook runs after every barrier with the window's limit.
+	windowed   bool
+	workers    int
+	lookahead  Time
+	windowHook func(limit Time)
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{reports: make(chan report), futileLimit: defaultFutileLimit}
+	e := new(Engine)
+	e.Init()
+	return e
 }
+
+// Init prepares e for use, replacing any previous state. It exists so an
+// Engine can be embedded by value in a larger system instead of
+// separately heap-allocated.
+func (e *Engine) Init() {
+	*e = Engine{futileLimit: defaultFutileLimit}
+}
+
+// SetConservative switches Run to the conservative windowed parallel
+// loop: event execution is partitioned by processor, all processors
+// advance through a shared sequence of virtual-time windows, and the
+// nodes of one window run concurrently on up to workers OS threads.
+// lookahead must be a lower bound on the delay of every cross-processor
+// interaction (for the DSM: the network's zero-byte one-way latency);
+// windows are [W0, W0+lookahead). Results are byte-identical for every
+// workers value ≥ 1, because the window schedule — not the worker count —
+// determines execution order. workers <= 0 restores the sequential loop.
+func (e *Engine) SetConservative(workers int, lookahead Time) {
+	if e.running {
+		panic("sim: SetConservative while running")
+	}
+	if workers > 0 && lookahead <= 0 {
+		panic("sim: SetConservative with non-positive lookahead")
+	}
+	e.windowed = workers > 0
+	e.workers = workers
+	e.lookahead = lookahead
+}
+
+// SetWindowHook installs fn to run after every windowed barrier, with
+// the engine quiescent, receiving the window limit just executed. The
+// DSM layer uses it to commit deferred network traffic and flush the
+// trace demultiplexer.
+func (e *Engine) SetWindowHook(fn func(limit Time)) { e.windowHook = fn }
 
 // SetFutileLimit overrides the livelock watchdog threshold: the number of
 // consecutive events Run may execute without any task being dispatched or
@@ -59,7 +103,7 @@ func (e *Engine) SetReasonNamer(f func(Reason) string) { e.reasonName = f }
 // AddProc creates a simulated processor whose thread switches cost
 // switchCost of virtual time.
 func (e *Engine) AddProc(switchCost Time) *Proc {
-	p := &Proc{eng: e, id: len(e.procs), switchCost: switchCost}
+	p := &Proc{eng: e, id: len(e.procs), switchCost: switchCost, reports: make(chan report)}
 	e.procs = append(e.procs, p)
 	return p
 }
@@ -71,9 +115,31 @@ func (e *Engine) Procs() []*Proc { return e.procs }
 // Within event handlers this is the event time.
 func (e *Engine) Now() Time { return e.now }
 
+// Runner is a task body. SpawnRunner exists alongside Spawn so a caller
+// that already has a per-task object can pass it directly instead of
+// allocating a closure per task.
+type Runner interface {
+	RunTask(t *Task)
+}
+
+// funcRunner adapts a plain function to Runner (func values are
+// pointer-shaped, so the interface conversion does not allocate).
+type funcRunner func(*Task)
+
+func (f funcRunner) RunTask(t *Task) { f(t) }
+
 // Spawn creates a task on p executing fn. It may be called before Run or
 // from engine/task context while the simulation is in progress.
 func (e *Engine) Spawn(p *Proc, name string, fn func(*Task)) *Task {
+	return e.SpawnRunner(p, name, funcRunner(fn))
+}
+
+// SpawnRunner creates a task on p executing r.RunTask. Semantics match
+// Spawn exactly.
+func (e *Engine) SpawnRunner(p *Proc, name string, r Runner) *Task {
+	if e.windowed && e.running {
+		panic("sim: Spawn during a windowed run")
+	}
 	t := &Task{
 		eng:    e,
 		proc:   p,
@@ -83,19 +149,44 @@ func (e *Engine) Spawn(p *Proc, name string, fn func(*Task)) *Task {
 	}
 	e.ntasks++
 	e.live++
+	p.live++
 	e.tasks = append(e.tasks, t)
-	go t.start(fn)
+	go t.start(r)
 	p.enqueue(t, p.clock)
 	return t
 }
 
 // Schedule runs fn in engine context at absolute virtual time at. It must
 // be called from engine context (event handlers); tasks use Task.Schedule.
+// In windowed mode the global queue does not exist — handlers must name
+// the processor their continuation belongs to via ScheduleOn.
 func (e *Engine) Schedule(at Time, fn func()) {
+	if e.windowed {
+		panic("sim: Schedule in windowed mode; use ScheduleOn")
+	}
 	if at < e.now {
 		at = e.now
 	}
 	e.schedule(at, fn)
+}
+
+// ScheduleOn runs fn in engine context on p's timeline at absolute
+// virtual time at. In the sequential mode it is identical to Schedule
+// (one global queue); in windowed mode the event joins p's private queue
+// and fn will run on whichever worker executes p's windows.
+func (e *Engine) ScheduleOn(p *Proc, at Time, fn func()) {
+	if !e.windowed {
+		if at < e.now {
+			at = e.now
+		}
+		e.schedule(at, fn)
+		return
+	}
+	if at < p.lnow {
+		at = p.lnow
+	}
+	p.lseq++
+	p.levents.push(&event{at: at, seq: p.lseq, fn: fn})
 }
 
 func (e *Engine) schedule(at Time, fn func()) {
@@ -104,9 +195,12 @@ func (e *Engine) schedule(at Time, fn func()) {
 }
 
 // Wake makes a blocked task ready. It must be called from engine context
-// (typically a message-delivery handler); the wake is stamped with the
-// current event time.
-func (e *Engine) Wake(t *Task) { e.WakeAt(t, e.now) }
+// (typically a message-delivery handler) executing on t's own processor;
+// the wake is stamped with that processor's current time. (In the
+// sequential mode this is the engine-global now, so the two definitions
+// coincide; in windowed mode handlers only ever wake tasks of the
+// processor they run on.)
+func (e *Engine) Wake(t *Task) { e.WakeAt(t, t.proc.LocalNow()) }
 
 // WakeAt makes a blocked task ready, stamping the wake at the given
 // virtual time. Use it from task context (e.g. a thread handing a local
@@ -116,7 +210,11 @@ func (e *Engine) WakeAt(t *Task, at Time) {
 		panic(fmt.Sprintf("sim: Wake of task %q in state %d", t.name, t.state))
 	}
 	t.state = taskReady
-	e.wakes++
+	if e.windowed {
+		t.proc.wakes++
+	} else {
+		e.wakes++
+	}
 	t.proc.enqueue(t, at)
 }
 
@@ -129,6 +227,9 @@ func (e *Engine) Run() error {
 	}
 	e.running = true
 	defer func() { e.running = false }()
+	if e.windowed {
+		return e.runWindowed()
+	}
 
 	// Run until every task is done, then drain in-flight events (e.g.
 	// message deliveries whose senders have already finished) so traffic
@@ -200,15 +301,19 @@ func (e *Engine) minProcNext() (*Proc, Time) {
 func (e *Engine) dispatchProc(p *Proc, horizon Time) {
 	sliceStart := p.clock
 	t := p.dispatch()
-	e.now = p.clock
+	if e.windowed {
+		p.lnow = p.clock
+	} else {
+		e.now = p.clock
+	}
 
 	t.resume <- grant{horizon: horizon}
-	r := <-e.reports
+	r := <-p.reports
 
 	if r.task != t {
 		panic("sim: report from unexpected task")
 	}
-	if p.hooks.OnSlice != nil && p.clock > sliceStart {
+	if p.hooks != nil && p.clock > sliceStart {
 		p.hooks.OnSlice(t, sliceStart, p.clock)
 	}
 
@@ -224,7 +329,18 @@ func (e *Engine) dispatchProc(p *Proc, horizon Time) {
 		p.noteBlocked()
 	case reportDone:
 		p.current = nil
-		e.live--
+		if e.windowed {
+			// Keep the idle flag exact so a later wake lifts the proc
+			// clock to the wake instant; a stale clock would let a
+			// woken task run before the current window's floor. (The
+			// sequential loop keeps its historical behavior — its
+			// global event order does not depend on the flag.)
+			p.noteBlocked()
+		}
+		p.live--
+		if !e.windowed {
+			e.live--
+		}
 		p.noteBlocked()
 	}
 }

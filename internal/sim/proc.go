@@ -8,22 +8,54 @@ type Reason uint8
 // ReasonNone is the zero Reason, used for tasks that never blocked.
 const ReasonNone Reason = 0
 
-// ProcHooks receives scheduling notifications for one processor.
-// Any field may be nil. Hooks run in engine context and must not block.
-type ProcHooks struct {
+// Hooks receives scheduling notifications for one processor. Hooks run
+// in the dispatch context of that processor and must not block. In the
+// windowed parallel mode several processors dispatch concurrently, so a
+// handler shared between procs must only touch per-proc state.
+type Hooks interface {
 	// OnSwitch fires when the processor dispatches a task other than the
 	// one it last ran, after the switch cost has been charged.
-	OnSwitch func(from, to *Task)
+	OnSwitch(from, to *Task)
 
 	// OnIdleEnd fires when an idle processor becomes runnable again.
 	// The interval [start, end) was spent with no runnable task, and task
 	// is the wake that ended it; its Reason attributes the wait.
-	OnIdleEnd func(start, end Time, task *Task)
+	OnIdleEnd(start, end Time, task *Task)
 
 	// OnSlice fires after every execution slice with the user-time span
 	// [start, end) consumed by task (including any switch cost charged to
 	// dispatch it).
-	OnSlice func(task *Task, start, end Time)
+	OnSlice(task *Task, start, end Time)
+}
+
+// ProcHooks is the function-valued form of Hooks; any field may be nil.
+// Installing one allocates an adapter — implement Hooks directly on a
+// long-lived receiver to avoid that on construction-heavy paths.
+type ProcHooks struct {
+	OnSwitch  func(from, to *Task)
+	OnIdleEnd func(start, end Time, task *Task)
+	OnSlice   func(task *Task, start, end Time)
+}
+
+// funcHooks adapts ProcHooks to the Hooks interface.
+type funcHooks struct{ h ProcHooks }
+
+func (f *funcHooks) OnSwitch(from, to *Task) {
+	if f.h.OnSwitch != nil {
+		f.h.OnSwitch(from, to)
+	}
+}
+
+func (f *funcHooks) OnIdleEnd(start, end Time, task *Task) {
+	if f.h.OnIdleEnd != nil {
+		f.h.OnIdleEnd(start, end, task)
+	}
+}
+
+func (f *funcHooks) OnSlice(task *Task, start, end Time) {
+	if f.h.OnSlice != nil {
+		f.h.OnSlice(task, start, end)
+	}
 }
 
 // Proc is a simulated processor: a virtual clock plus a run queue of
@@ -37,7 +69,7 @@ type Proc struct {
 	clock      Time
 	switchCost Time
 	lifo       bool
-	hooks      ProcHooks
+	hooks      Hooks
 
 	current *Task   // task that continues when this proc is next granted
 	lastRan *Task   // for switch-cost accounting
@@ -47,6 +79,42 @@ type Proc struct {
 	idleSince Time
 
 	inj *injections // nil unless fault injections were scheduled
+
+	// Per-proc execution state. reports carries scheduling reports from
+	// this proc's tasks in both modes; the remaining fields are used only
+	// by the conservative windowed mode (Engine.SetConservative), where
+	// each proc owns a private event queue and local virtual time so
+	// windows execute without touching any engine-global state.
+	reports   chan report
+	levents   eventQueue // proc-local pending events
+	lseq      uint64     // tie-breaker for levents
+	lnow      Time       // local virtual time of the current entity
+	live      int        // this proc's not-yet-finished tasks
+	wakes     uint64     // wake count, for the windowed futile watchdog
+	failure   any        // panic captured from this proc's window, if any
+	futileErr error      // windowed livelock verdict, if any
+}
+
+// LocalNow reports the virtual time of the entity currently executing on
+// p: in windowed mode the proc-local event or dispatch time, otherwise
+// the engine-global now. Handler code that runs on a known proc should
+// prefer this over Engine.Now — the two are identical in the sequential
+// mode, and only LocalNow is meaningful inside a parallel window.
+func (p *Proc) LocalNow() Time {
+	if p.eng.windowed {
+		return p.lnow
+	}
+	return p.eng.now
+}
+
+// nextAt reports the earliest virtual time at which p has work: its next
+// local event or its clock if a task is runnable. MaxTime means idle.
+func (p *Proc) nextAt() Time {
+	at := p.levents.peekTime()
+	if p.runnable() && p.clock < at {
+		at = p.clock
+	}
+	return at
 }
 
 // charge advances the processor clock by a compute charge of d, mapped
@@ -67,8 +135,13 @@ func (p *Proc) ID() int { return p.id }
 // Clock reports the processor's current virtual time.
 func (p *Proc) Clock() Time { return p.clock }
 
-// SetHooks installs scheduling notification hooks.
-func (p *Proc) SetHooks(h ProcHooks) { p.hooks = h }
+// SetHooks installs function-valued scheduling hooks (test convenience;
+// allocates an adapter).
+func (p *Proc) SetHooks(h ProcHooks) { p.hooks = &funcHooks{h} }
+
+// SetHookHandler installs a Hooks implementation directly, without the
+// adapter allocation SetHooks pays.
+func (p *Proc) SetHookHandler(h Hooks) { p.hooks = h }
 
 // SetLIFO selects the run-queue discipline: when true, the most recently
 // readied task is dispatched first, preserving cache and TLB state (the
@@ -93,7 +166,7 @@ func (p *Proc) enqueue(t *Task, at Time) {
 	if wasIdle {
 		p.idle = false
 		p.clock = maxTime(p.clock, at)
-		if p.hooks.OnIdleEnd != nil {
+		if p.hooks != nil {
 			p.hooks.OnIdleEnd(p.idleSince, p.clock, t)
 		}
 	}
@@ -125,7 +198,7 @@ func (p *Proc) dispatch() *Task {
 		p.current = t
 		if p.lastRan != nil && p.lastRan != t {
 			p.clock += p.switchCost
-			if p.hooks.OnSwitch != nil {
+			if p.hooks != nil {
 				p.hooks.OnSwitch(p.lastRan, t)
 			}
 		}

@@ -92,18 +92,26 @@ func (t *Task) Yield() {
 
 // Schedule runs fn in engine context at absolute virtual time at, which
 // must not precede the task's clock. The task's horizon is lowered so it
-// will not run past the new event before the event is applied.
+// will not run past the new event before the event is applied. In
+// windowed mode the event lands on the task's own processor — a task can
+// only schedule local continuations; cross-proc effects go through the
+// deferred network.
 func (t *Task) Schedule(at Time, fn func()) {
 	if at < t.proc.clock {
 		at = t.proc.clock
 	}
-	t.eng.schedule(at, fn)
+	if t.eng.windowed {
+		t.proc.lseq++
+		t.proc.levents.push(&event{at: at, seq: t.proc.lseq, fn: fn})
+	} else {
+		t.eng.schedule(at, fn)
+	}
 	t.horizon = minTime(t.horizon, at)
 }
 
 // handoff returns control to the engine and waits for the next grant.
 func (t *Task) handoff(r report) {
-	t.eng.reports <- r
+	t.proc.reports <- r
 	g := <-t.resume
 	if g.poison {
 		runtime.Goexit()
@@ -112,14 +120,14 @@ func (t *Task) handoff(r report) {
 }
 
 // start is the goroutine body wrapping the task function.
-func (t *Task) start(fn func(*Task)) {
+func (t *Task) start(r Runner) {
 	g := <-t.resume
 	if g.poison {
 		return
 	}
 	t.horizon = g.horizon
 	t.state = taskRunning
-	fn(t)
+	r.RunTask(t)
 	t.state = taskDone
-	t.eng.reports <- report{t, reportDone}
+	t.proc.reports <- report{t, reportDone}
 }

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the conservative windowed parallel run loop (enabled by
+// SetConservative). The scheme is a null-message-free conservative
+// parallel discrete-event simulation:
+//
+//   - Work is partitioned by Proc. During a window each proc executes
+//     only its own tasks and its own local events; every cross-proc
+//     effect is routed through a deferral layer (for the DSM, the
+//     netsim outboxes) and applied between windows.
+//   - A window starts at W0 = min over procs of nextAt(p) — the
+//     earliest pending work anywhere — and runs every proc up to
+//     W1 = W0 + lookahead, exclusive.
+//   - lookahead is a static lower bound on cross-proc latency, counted
+//     from the instant an interaction is recorded by the deferral layer
+//     (not from when the sender started charging overhead — a send can
+//     straddle the window boundary): anything recorded at time T ≥ W0
+//     inside the window lands at its target no earlier than
+//     T + lookahead ≥ W1, i.e. at or after the next window boundary.
+//     Procs therefore cannot affect each other within a window, and no
+//     null messages or channel clocks are needed.
+//   - At the barrier the coordinator runs the window hook (commit
+//     deferred messages, flush traces, apply deferred resets), then
+//     opens the next window.
+//
+// Every step is deterministic in the window schedule alone: W0 is a
+// pure function of simulation state, per-proc execution is sequential,
+// and the commit processes outboxes in fixed order. The worker count
+// only changes which OS thread executes a proc's window, so results are
+// byte-identical for every workers value — the invariant the
+// determinism guard in internal/harness enforces.
+
+// runWindowed executes the simulation window by window until every task
+// has finished and all deferred work has drained.
+func (e *Engine) runWindowed() error {
+	nw := e.workers
+	if nw > len(e.procs) {
+		nw = len(e.procs)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+
+	// Persistent worker pool: worker w handles procs w, w+nw, w+2nw, ...
+	// for every window (stable assignment, though any assignment would
+	// produce identical results). Worker 0 is the coordinator itself.
+	var wg sync.WaitGroup
+	var starts []chan Time
+	for w := 1; w < nw; w++ {
+		ch := make(chan Time)
+		starts = append(starts, ch)
+		go func(w int, ch chan Time) {
+			for limit := range ch {
+				for pi := w; pi < len(e.procs); pi += nw {
+					e.procWindow(e.procs[pi], limit)
+				}
+				wg.Done()
+			}
+		}(w, ch)
+	}
+	defer func() {
+		for _, ch := range starts {
+			close(ch)
+		}
+	}()
+
+	for {
+		w0 := MaxTime
+		live := 0
+		for _, p := range e.procs {
+			live += p.live
+			if at := p.nextAt(); at < w0 {
+				w0 = at
+			}
+		}
+		if w0 == MaxTime {
+			if live == 0 {
+				return nil
+			}
+			return e.deadlockErr("no runnable entity and no pending event")
+		}
+		limit := w0 + e.lookahead
+
+		wg.Add(len(starts))
+		for _, ch := range starts {
+			ch <- limit
+		}
+		for pi := 0; pi < len(e.procs); pi += nw {
+			e.procWindow(e.procs[pi], limit)
+		}
+		wg.Wait()
+
+		// Propagate worker outcomes deterministically: the lowest proc
+		// index wins, so a multi-proc failure reports identically at
+		// every worker count. Panics (e.g. the transport's loud failure)
+		// re-raise on the coordinator, where Run's caller can recover
+		// them exactly as in the sequential mode.
+		for _, p := range e.procs {
+			if p.failure != nil {
+				f := p.failure
+				p.failure = nil
+				panic(f)
+			}
+		}
+		for _, p := range e.procs {
+			if p.futileErr != nil {
+				return p.futileErr
+			}
+		}
+
+		if e.windowHook != nil {
+			e.windowHook(limit)
+		}
+	}
+}
+
+// procWindow runs one processor to the window limit: its local events
+// and task slices interleaved in local-time order, events first on ties.
+// It touches only p-local state (plus deferral-layer state owned by p),
+// so any worker may execute it. Panics are captured per proc and
+// re-raised by the coordinator.
+func (e *Engine) procWindow(p *Proc, limit Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.failure = r
+		}
+	}()
+	futile := 0
+	for {
+		evAt := p.levents.peekTime()
+		taskAt := MaxTime
+		if p.runnable() {
+			taskAt = p.clock
+		}
+		if evAt >= limit && taskAt >= limit {
+			return
+		}
+		if evAt <= taskAt {
+			ev := p.levents.pop()
+			p.lnow = ev.at
+			wakesBefore, liveBefore := p.wakes, p.live
+			ev.fn()
+			if p.wakes == wakesBefore && p.live == liveBefore && !p.runnable() {
+				futile++
+				if e.futileLimit > 0 && futile >= e.futileLimit {
+					p.futileErr = fmt.Errorf(
+						"%w: livelock on proc %d: %d consecutive events without a task dispatch or wake",
+						ErrDeadlock, p.id, futile)
+					return
+				}
+			} else {
+				futile = 0
+			}
+			continue
+		}
+		futile = 0
+		e.dispatchProc(p, minTime(evAt, limit))
+	}
+}
