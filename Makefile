@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race golden-trace bench-smoke chaos par-check metrics-gate metrics-baseline perf-baseline
+.PHONY: check vet build test race golden-trace bench-smoke chaos par-check cluster-smoke metrics-gate metrics-baseline perf-baseline
 
 ## check: the pre-commit gate (mirrors .github/workflows/ci.yml) — vet,
 ## build, race-test everything, verify the golden trace, a one-iteration
 ## pass over every benchmark so the perf kernels stay honest, the chaos
 ## suite under fault injection, the windowed-engine determinism guard,
-## and the metrics regression gate against the committed baseline.
-check: vet build race golden-trace bench-smoke chaos par-check metrics-gate
+## the multi-process cluster smoke against the simulator oracle, and the
+## metrics regression gate against the committed baseline.
+check: vet build race golden-trace bench-smoke chaos par-check cluster-smoke metrics-gate
 	@echo "check: OK"
 
 vet:
@@ -48,6 +49,13 @@ chaos:
 par-check:
 	$(GO) test ./internal/harness -run 'TestGuardDeterminism' -count=1
 	$(GO) test ./internal/chaos -run TestEngineWorkersUnderChaos -count=1
+
+## cluster-smoke: boot a real 4-process cvm-node cluster (TCP data mesh
+## on loopback) for sor and waternsq at test scale; the coordinator's
+## -oracle requires an exact checksum match against the deterministic
+## simulator. Proves the real-transport backend end to end.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 ## metrics-gate: re-run the baseline workload and compare its metrics
 ## report against the committed BASELINE_metrics.json. The simulator is

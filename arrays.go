@@ -6,41 +6,47 @@ type F64Array struct {
 	Len  int
 }
 
+// MustAllocF64 allocates a shared float64 array of n elements on any
+// cluster kind.
+func MustAllocF64(c Allocator, name string, n int) F64Array {
+	return F64Array{Base: c.MustAlloc(name, n*8), Len: n}
+}
+
 // MustAllocF64 allocates a shared float64 array of n elements.
 func (c *Cluster) MustAllocF64(name string, n int) F64Array {
-	return F64Array{Base: c.MustAlloc(name, n*8), Len: n}
+	return MustAllocF64(c, name, n)
 }
 
 // At returns the address of element i.
 func (a F64Array) At(i int) Addr { return a.Base + Addr(i)*8 }
 
 // Get reads element i through w.
-func (a F64Array) Get(w *Worker, i int) float64 { return w.ReadF64(a.At(i)) }
+func (a F64Array) Get(w Worker, i int) float64 { return w.ReadF64(a.At(i)) }
 
 // Set writes element i through w.
-func (a F64Array) Set(w *Worker, i int, v float64) { w.WriteF64(a.At(i), v) }
+func (a F64Array) Set(w Worker, i int, v float64) { w.WriteF64(a.At(i), v) }
 
 // Add adds v to element i through w (a read-modify-write; guard with a
 // lock or partition ownership when threads share elements). The access
 // check runs once for the fused load/store pair.
-func (a F64Array) Add(w *Worker, i int, v float64) {
+func (a F64Array) Add(w Worker, i int, v float64) {
 	w.AddF64(a.At(i), v)
 }
 
 // GetRange reads elements [i, i+len(dst)) into dst with per-page batched
 // access checks (see Worker.ReadRangeF64).
-func (a F64Array) GetRange(w *Worker, i int, dst []float64) {
+func (a F64Array) GetRange(w Worker, i int, dst []float64) {
 	w.ReadRangeF64(a.At(i), dst)
 }
 
 // SetRange writes src to elements [i, i+len(src)) with per-page batched
 // access checks.
-func (a F64Array) SetRange(w *Worker, i int, src []float64) {
+func (a F64Array) SetRange(w Worker, i int, src []float64) {
 	w.WriteRangeF64(a.At(i), src)
 }
 
 // Fill writes v to elements [i, i+n).
-func (a F64Array) Fill(w *Worker, i, n int, v float64) {
+func (a F64Array) Fill(w Worker, i, n int, v float64) {
 	w.FillF64(a.At(i), n, v)
 }
 
@@ -50,29 +56,35 @@ type I64Array struct {
 	Len  int
 }
 
+// MustAllocI64 allocates a shared int64 array of n elements on any
+// cluster kind.
+func MustAllocI64(c Allocator, name string, n int) I64Array {
+	return I64Array{Base: c.MustAlloc(name, n*8), Len: n}
+}
+
 // MustAllocI64 allocates a shared int64 array of n elements.
 func (c *Cluster) MustAllocI64(name string, n int) I64Array {
-	return I64Array{Base: c.MustAlloc(name, n*8), Len: n}
+	return MustAllocI64(c, name, n)
 }
 
 // At returns the address of element i.
 func (a I64Array) At(i int) Addr { return a.Base + Addr(i)*8 }
 
 // Get reads element i through w.
-func (a I64Array) Get(w *Worker, i int) int64 { return w.ReadI64(a.At(i)) }
+func (a I64Array) Get(w Worker, i int) int64 { return w.ReadI64(a.At(i)) }
 
 // Set writes element i through w.
-func (a I64Array) Set(w *Worker, i int, v int64) { w.WriteI64(a.At(i), v) }
+func (a I64Array) Set(w Worker, i int, v int64) { w.WriteI64(a.At(i), v) }
 
 // GetRange reads elements [i, i+len(dst)) into dst with per-page batched
 // access checks.
-func (a I64Array) GetRange(w *Worker, i int, dst []int64) {
+func (a I64Array) GetRange(w Worker, i int, dst []int64) {
 	w.ReadRangeI64(a.At(i), dst)
 }
 
 // SetRange writes src to elements [i, i+len(src)) with per-page batched
 // access checks.
-func (a I64Array) SetRange(w *Worker, i int, src []int64) {
+func (a I64Array) SetRange(w Worker, i int, src []int64) {
 	w.WriteRangeI64(a.At(i), src)
 }
 
@@ -87,13 +99,13 @@ type F64Matrix struct {
 	Stride int
 }
 
-// MustAllocF64Matrix allocates a rows×cols shared matrix. When padRows is
-// set, each row is padded to a whole number of pages, eliminating
-// cross-row false sharing at the cost of space.
-func (c *Cluster) MustAllocF64Matrix(name string, rows, cols int, padRows bool) F64Matrix {
+// MustAllocF64Matrix allocates a rows×cols shared matrix on any cluster
+// kind. When padRows is set, each row is padded to a whole number of
+// pages, eliminating cross-row false sharing at the cost of space.
+func MustAllocF64Matrix(c Allocator, name string, rows, cols int, padRows bool) F64Matrix {
 	stride := cols
 	if padRows {
-		perPage := c.sys.Config().PageSize / 8
+		perPage := c.PageSize() / 8
 		stride = (cols + perPage - 1) / perPage * perPage
 	}
 	return F64Matrix{
@@ -104,33 +116,39 @@ func (c *Cluster) MustAllocF64Matrix(name string, rows, cols int, padRows bool) 
 	}
 }
 
+// MustAllocF64Matrix allocates a rows×cols shared matrix; see the free
+// function of the same name.
+func (c *Cluster) MustAllocF64Matrix(name string, rows, cols int, padRows bool) F64Matrix {
+	return MustAllocF64Matrix(c, name, rows, cols, padRows)
+}
+
 // At returns the address of element (r, c).
 func (m F64Matrix) At(r, c int) Addr { return m.Base + Addr(r*m.Stride+c)*8 }
 
 // Get reads element (r, c) through w.
-func (m F64Matrix) Get(w *Worker, r, c int) float64 { return w.ReadF64(m.At(r, c)) }
+func (m F64Matrix) Get(w Worker, r, c int) float64 { return w.ReadF64(m.At(r, c)) }
 
 // Set writes element (r, c) through w.
-func (m F64Matrix) Set(w *Worker, r, c int, v float64) { w.WriteF64(m.At(r, c), v) }
+func (m F64Matrix) Set(w Worker, r, c int, v float64) { w.WriteF64(m.At(r, c), v) }
 
 // Row reads row r's Cols elements into dst with per-page batched access
 // checks. dst must hold at least Cols elements.
-func (m F64Matrix) Row(w *Worker, r int, dst []float64) {
+func (m F64Matrix) Row(w Worker, r int, dst []float64) {
 	w.ReadRangeF64(m.At(r, 0), dst[:m.Cols])
 }
 
 // SetRow writes src (Cols elements) to row r with per-page batched access
 // checks.
-func (m F64Matrix) SetRow(w *Worker, r int, src []float64) {
+func (m F64Matrix) SetRow(w Worker, r int, src []float64) {
 	w.WriteRangeF64(m.At(r, 0), src[:m.Cols])
 }
 
 // RowRange reads columns [c, c+len(dst)) of row r into dst.
-func (m F64Matrix) RowRange(w *Worker, r, c int, dst []float64) {
+func (m F64Matrix) RowRange(w Worker, r, c int, dst []float64) {
 	w.ReadRangeF64(m.At(r, c), dst)
 }
 
 // SetRowRange writes src to columns [c, c+len(src)) of row r.
-func (m F64Matrix) SetRowRange(w *Worker, r, c int, src []float64) {
+func (m F64Matrix) SetRowRange(w Worker, r, c int, src []float64) {
 	w.WriteRangeF64(m.At(r, c), src)
 }

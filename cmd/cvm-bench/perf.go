@@ -249,7 +249,7 @@ func benchSpanRead(span bool) testing.BenchmarkResult {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchMatrix(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				sum := 0.0
 				if !span {
 					for r := 0; r < spanBenchRows; r++ {
@@ -280,7 +280,7 @@ func benchSpanWrite(span bool) testing.BenchmarkResult {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchMatrix(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				if !span {
 					for r := 0; r < spanBenchRows; r++ {
 						for j := 0; j < spanBenchCols; j++ {
@@ -309,7 +309,7 @@ func benchSpanSweep(span bool) testing.BenchmarkResult {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchMatrix(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				if !span {
 					for r := 0; r < spanBenchRows; r++ {
 						for j := 0; j < spanBenchCols; j++ {
@@ -339,7 +339,7 @@ func benchSpanSORRow(span bool) testing.BenchmarkResult {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchMatrix(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				if !span {
 					for r := 1; r < spanBenchRows-1; r++ {
 						for j := 1 + r%2; j < spanBenchCols-1; j += 2 {

@@ -1,0 +1,151 @@
+// Command cvm-node is one node of a real multi-process CVM cluster: it
+// runs the paper's applications over actual TCP connections instead of
+// the deterministic simulator, using the internal/rt runtime and the
+// internal/cluster control plane.
+//
+// One process per node. The coordinator (node 0) owns the run
+// configuration and listens for members; members join it and take the
+// configuration from the wire:
+//
+//	cvm-node -listen :7000 -nodes 4 -app sor -size test   # node 0
+//	cvm-node -join host:7000 -node-id 1 -nodes 4          # nodes 1..3
+//	cvm-node -join host:7000 -node-id 2 -nodes 4
+//	cvm-node -join host:7000 -node-id 3 -nodes 4
+//
+// The coordinator prints the run's checksum; with -oracle it also runs
+// the deterministic simulator at the same configuration in-process and
+// fails unless the checksums match exactly (the applications' quantized
+// accumulation makes any correct release-consistent execution
+// bit-identical; see DESIGN.md §11).
+//
+// -data sets the host:port the node's DSM data listener binds (default
+// 127.0.0.1:0, single-host clusters); on real multi-host clusters give
+// each node an address its peers can reach.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"cvm"
+	"cvm/internal/apps"
+	"cvm/internal/cluster"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cvm-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cvm-node", flag.ContinueOnError)
+	var (
+		listen  = fs.String("listen", "", "coordinate the cluster: control address to listen on (this process is node 0)")
+		join    = fs.String("join", "", "join a cluster: the coordinator's control address")
+		nodeID  = fs.Int("node-id", 0, "this node's id (members: 1..nodes-1; the coordinator is always 0)")
+		nodes   = fs.Int("nodes", 4, "cluster size in nodes (members may omit it to accept the coordinator's)")
+		threads = fs.Int("threads", 1, "application threads per node (coordinator only)")
+		appName = fs.String("app", "sor", "application (coordinator only): "+strings.Join(apps.Names(), ", "))
+		size    = fs.String("size", "test", "input scale (coordinator only): test, small, paper")
+		page    = fs.Int("page", 4096, "coherence unit in bytes (coordinator only)")
+		seed    = fs.Uint64("seed", 1, "experiment seed distributed to all nodes (coordinator only)")
+		data    = fs.String("data", "127.0.0.1:0", "host:port for this node's DSM data listener (must be peer-reachable)")
+		timeout = fs.Duration("timeout", 2*time.Minute, "bound on every control step, mesh formation included")
+		oracle  = fs.Bool("oracle", false, "coordinator only: also run the deterministic simulator and require an exact checksum match")
+		quiet   = fs.Bool("quiet", false, "suppress progress messages")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if (*listen == "") == (*join == "") {
+		return fmt.Errorf("exactly one of -listen (coordinator) or -join (member) is required")
+	}
+	if *timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive, got %v", *timeout)
+	}
+	if *timeout > time.Hour {
+		return fmt.Errorf("-timeout %v exceeds the 1h bound (a wedged cluster should fail, not linger)", *timeout)
+	}
+	opts := cluster.Options{DataAddr: *data, Timeout: *timeout, Log: out}
+	if *quiet {
+		opts.Log = io.Discard
+	}
+
+	if *join != "" {
+		memberOnly := func(name string) bool {
+			set := false
+			fs.Visit(func(f *flag.Flag) { set = set || f.Name == name })
+			return set
+		}
+		for _, name := range []string{"app", "size", "threads", "page", "seed", "oracle"} {
+			if memberOnly(name) {
+				return fmt.Errorf("-%s is the coordinator's to set; members take it from the wire", name)
+			}
+		}
+		if *nodeID < 1 {
+			return fmt.Errorf("-node-id must be 1..nodes-1 for members, got %d", *nodeID)
+		}
+		nodesArg := 0
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "nodes" {
+				nodesArg = *nodes
+			}
+		})
+		if nodesArg != 0 && *nodeID >= nodesArg {
+			return fmt.Errorf("-node-id %d outside a cluster of %d nodes", *nodeID, nodesArg)
+		}
+		outcome, err := cluster.Join(*join, *nodeID, nodesArg, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "node %d: ok, checksum %v\n", *nodeID, outcome.Checksum)
+		return nil
+	}
+
+	// Coordinator.
+	if *nodeID != 0 {
+		return fmt.Errorf("the coordinator is always node 0; drop -node-id %d", *nodeID)
+	}
+	spec := cluster.Spec{
+		App: *appName, Size: *size,
+		Nodes: *nodes, Threads: *threads, Page: *page, Seed: *seed,
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	outcome, err := cluster.Coordinate(*listen, spec, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s/%s on %d nodes x %d threads over tcp: checksum %v (verified against sequential reference)\n",
+		spec.App, spec.Size, spec.Nodes, spec.Threads, outcome.Checksum)
+	fmt.Fprintf(out, "node 0 traffic: %d messages, %d KB, %v elapsed\n",
+		outcome.Net.TotalMsgs(), outcome.Net.TotalBytes()/1024, outcome.Elapsed.Round(time.Millisecond))
+
+	if *oracle {
+		sz, err := apps.ParseSize(spec.Size)
+		if err != nil {
+			return err
+		}
+		_, simSum, err := apps.RunConfigFull(spec.App, sz,
+			cvm.DefaultConfig(spec.Nodes, spec.Threads), 0)
+		if err != nil {
+			return fmt.Errorf("oracle: %w", err)
+		}
+		if simSum != outcome.Checksum {
+			return fmt.Errorf("%w: tcp cluster %v, simulator %v",
+				cluster.ErrChecksum, outcome.Checksum, simSum)
+		}
+		fmt.Fprintf(out, "oracle: simulator checksum %v matches exactly\n", simSum)
+	}
+	return nil
+}

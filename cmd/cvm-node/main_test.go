@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// runErr runs the command line and returns its error.
+func runErr(args ...string) error {
+	var out bytes.Buffer
+	return run(args, &out)
+}
+
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no role", []string{}, "exactly one of -listen"},
+		{"both roles", []string{"-listen", ":0", "-join", "x:1"}, "exactly one of -listen"},
+		{"zero timeout", []string{"-listen", ":0", "-timeout", "0"}, "-timeout must be positive"},
+		{"negative timeout", []string{"-join", "x:1", "-timeout", "-5s"}, "-timeout must be positive"},
+		{"huge timeout", []string{"-listen", ":0", "-timeout", "2h"}, "1h bound"},
+		{"malformed timeout", []string{"-listen", ":0", "-timeout", "soon"}, "invalid value"},
+		{"member node id zero", []string{"-join", "x:1", "-node-id", "0"}, "-node-id must be 1"},
+		{"member node id negative", []string{"-join", "x:1", "-node-id", "-2"}, "-node-id must be 1"},
+		{"member node id out of range", []string{"-join", "x:1", "-node-id", "4", "-nodes", "4"}, "outside a cluster of 4"},
+		{"member sets app", []string{"-join", "x:1", "-node-id", "1", "-app", "sor"}, "coordinator's to set"},
+		{"member sets size", []string{"-join", "x:1", "-node-id", "1", "-size", "test"}, "coordinator's to set"},
+		{"member sets threads", []string{"-join", "x:1", "-node-id", "1", "-threads", "2"}, "coordinator's to set"},
+		{"member sets oracle", []string{"-join", "x:1", "-node-id", "1", "-oracle"}, "coordinator's to set"},
+		{"coordinator with node id", []string{"-listen", ":0", "-node-id", "2"}, "always node 0"},
+		{"zero nodes", []string{"-listen", ":0", "-nodes", "0"}, "0 nodes"},
+		{"zero threads", []string{"-listen", ":0", "-threads", "0"}, "threads per node"},
+		{"unknown app", []string{"-listen", ":0", "-app", "nosuch"}, "nosuch"},
+		{"bad size", []string{"-listen", ":0", "-size", "huge"}, "huge"},
+		{"bad page", []string{"-listen", ":0", "-page", "100"}, "page size 100"},
+		{"unsupported threads", []string{"-listen", ":0", "-app", "ocean", "-threads", "3"}, "does not support 3 threads"},
+		{"positional args", []string{"-listen", ":0", "extra"}, "unexpected arguments"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := runErr(tc.args...)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %q, want it to contain %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// freePort reserves a listening port for the coordinator.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestClusterEndToEnd drives a full 3-node cluster through the command
+// entry point — coordinator and members as goroutines standing in for
+// processes — with -oracle making the coordinator verify the TCP
+// cluster's checksum against the deterministic simulator.
+func TestClusterEndToEnd(t *testing.T) {
+	const nodes = 3
+	addr := freePort(t)
+	var wg sync.WaitGroup
+	outs := make([]bytes.Buffer, nodes)
+	errs := make([]error, nodes)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[0] = run([]string{"-listen", addr, "-nodes", fmt.Sprint(nodes),
+			"-app", "sor", "-size", "test", "-threads", "2",
+			"-timeout", "30s", "-oracle", "-quiet"}, &outs[0])
+	}()
+	for id := 1; id < nodes; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = run([]string{"-join", addr, "-node-id", fmt.Sprint(id),
+				"-nodes", fmt.Sprint(nodes), "-timeout", "30s", "-quiet"}, &outs[id])
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v\noutput:\n%s", id, err, outs[id].String())
+		}
+	}
+	if got := outs[0].String(); !strings.Contains(got, "checksum") ||
+		!strings.Contains(got, "oracle: simulator checksum") {
+		t.Fatalf("coordinator output missing checksum/oracle lines:\n%s", got)
+	}
+	// Every member must have been told the same global checksum.
+	var sum string
+	for _, line := range strings.Split(outs[0].String(), "\n") {
+		if strings.Contains(line, "verified against sequential reference") {
+			f := strings.Fields(line)
+			for i, w := range f {
+				if w == "checksum" && i+1 < len(f) {
+					sum = f[i+1]
+				}
+			}
+		}
+	}
+	if sum == "" {
+		t.Fatalf("no checksum in coordinator output:\n%s", outs[0].String())
+	}
+	for id := 1; id < nodes; id++ {
+		if !strings.Contains(outs[id].String(), sum) {
+			t.Errorf("node %d output lacks global checksum %s:\n%s", id, sum, outs[id].String())
+		}
+	}
+}
+
+// TestMemberRejectedOnBadID checks that the coordinator turns a bad
+// membership away with a reason and shuts the run down cleanly.
+func TestMemberRejectedOnBadID(t *testing.T) {
+	addr := freePort(t)
+	var wg sync.WaitGroup
+	var coordErr, memberErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		var out bytes.Buffer
+		coordErr = run([]string{"-listen", addr, "-nodes", "2",
+			"-app", "sor", "-size", "test", "-timeout", "15s", "-quiet"}, &out)
+	}()
+	go func() {
+		defer wg.Done()
+		var out bytes.Buffer
+		// Claims node id 5 in a 2-node cluster; only the coordinator can
+		// see that, so the rejection must travel back over the wire.
+		memberErr = run([]string{"-join", addr, "-node-id", "5", "-timeout", "15s", "-quiet"}, &out)
+	}()
+	wg.Wait()
+	if coordErr == nil || !strings.Contains(coordErr.Error(), "node id 5") {
+		t.Errorf("coordinator error = %v, want node id rejection", coordErr)
+	}
+	if memberErr == nil || !strings.Contains(memberErr.Error(), "node id 5") {
+		t.Errorf("member error = %v, want node id rejection", memberErr)
+	}
+}

@@ -24,6 +24,16 @@
 // report gains a transport section (retransmits, suppressed duplicates).
 // -check attaches the protocol invariant checker and fails the run on
 // any violation.
+//
+// -transport selects the execution backend: "sim" (default) is the
+// deterministic virtual-time simulator; "loopback" runs the same
+// application on the real runtime (internal/rt) over an in-process
+// channel transport in wall time. The loopback backend produces the
+// same checksum as the simulator but has no virtual-time machinery, so
+// it is incompatible with instrumentation (-trace, -metrics, -report,
+// -check), fault injection, -engine-workers, and thread sweeps; its
+// report is wall time plus real transport traffic. For multi-process
+// clusters over TCP, see cvm-node.
 package main
 
 import (
@@ -40,7 +50,9 @@ import (
 	"cvm/internal/check"
 	"cvm/internal/harness"
 	"cvm/internal/netsim"
+	"cvm/internal/rt"
 	"cvm/internal/trace"
+	"cvm/internal/transport"
 )
 
 func main() {
@@ -72,6 +84,8 @@ func run(args []string, out io.Writer) error {
 		faults    = fs.String("faults", "", "deterministic fault spec, e.g. 'drop=0.01,dup=0.001,reorder=0.005,jitter=100us,pause=1:5ms:2ms'")
 		faultSeed = fs.Uint64("fault-seed", 1, "fault-schedule seed (same spec + seed = same schedule, byte for byte)")
 		checkRun  = fs.Bool("check", false, "attach the protocol invariant checker; any violation fails the run")
+
+		backend = fs.String("transport", "sim", "execution backend: sim (deterministic simulator) or loopback (real runtime, in-process)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +129,29 @@ func run(args []string, out io.Writer) error {
 	}
 
 	wantMetrics := *metricsOut != "" || *metricsCSV != "" || *showReport
+	switch *backend {
+	case "sim":
+	case "loopback":
+		// The real runtime has no virtual clock: nothing to trace or
+		// meter, no simulated faults to inject, no DES engine to
+		// parallelize. Reject the combinations rather than ignore them.
+		if *traceOut != "" || wantMetrics || *checkRun {
+			return fmt.Errorf("-transport loopback has no virtual-time instrumentation; drop -trace/-metrics/-metrics-csv/-report/-check")
+		}
+		if fp != nil {
+			return fmt.Errorf("-transport loopback cannot inject simulated faults; drop -faults")
+		}
+		if *engineWorkers > 0 {
+			return fmt.Errorf("-engine-workers tunes the simulator's DES engine; drop it with -transport loopback")
+		}
+		if len(levels) != 1 {
+			return fmt.Errorf("-transport loopback needs a single -threads level, got %q", *threads)
+		}
+		return runLoopback(out, *appName, sz, *size, *nodes, levels[0])
+	default:
+		return fmt.Errorf("-transport must be sim or loopback, got %q", *backend)
+	}
+
 	if *traceOut != "" || wantMetrics || *checkRun {
 		if len(levels) != 1 {
 			return fmt.Errorf("-trace/-metrics/-report/-check need a single -threads level, got %q", *threads)
@@ -287,6 +324,46 @@ func runInstrumented(out io.Writer, o instrumentOpts) error {
 		fmt.Fprintf(out, "wrote metrics CSV to %s\n", o.metricsCSV)
 	}
 	return nil
+}
+
+// runLoopback executes one run on the real runtime over the in-process
+// loopback transport and prints the reduced wall-time report. The
+// checksum still verifies against the sequential reference, and — by
+// the transport-equivalence guarantee (DESIGN.md §11) — equals the
+// simulator's bit for bit at the same configuration.
+func runLoopback(out io.Writer, appName string, sz apps.Size, sizeName string, nodes, threads int) error {
+	app, err := apps.New(appName, sz)
+	if err != nil {
+		return err
+	}
+	if !app.SupportsThreads(threads) {
+		return fmt.Errorf("%s does not support %d threads per node", appName, threads)
+	}
+	cl, err := rt.NewCluster(rt.DefaultConfig(nodes, threads))
+	if err != nil {
+		return err
+	}
+	if err := app.Setup(cl); err != nil {
+		return err
+	}
+	res, err := cl.RunLoopback(app.Main)
+	if err != nil {
+		return err
+	}
+	if err := app.Check(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s on %d nodes x %d threads (%s input) over loopback: result verified against sequential reference\n\n",
+		appName, nodes, threads, sizeName)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "wall time\t%v\n", res.Elapsed)
+	fmt.Fprintf(tw, "checksum\t%v\n", app.Checksum())
+	fmt.Fprintf(tw, "messages (barrier/lock/diff)\t%d / %d / %d\n",
+		res.Net.Msgs[transport.ClassBarrier], res.Net.Msgs[transport.ClassLock],
+		res.Net.Msgs[transport.ClassDiff])
+	fmt.Fprintf(tw, "total messages\t%d\n", res.Net.TotalMsgs())
+	fmt.Fprintf(tw, "bandwidth\t%d KB\n", res.Net.TotalBytes()/1024)
+	return tw.Flush()
 }
 
 // writeFileWith creates path and streams write into it.

@@ -37,6 +37,14 @@ func TestFlagValidation(t *testing.T) {
 		{"bad fault spec", []string{"-faults", "drop=2"}, "drop"},
 		{"unknown fault item", []string{"-faults", "frobnicate=1"}, "frobnicate"},
 		{"seed without faults", []string{"-fault-seed", "7"}, "-fault-seed needs -faults"},
+		{"unknown transport", []string{"-transport", "carrier-pigeon"}, "-transport must be sim or loopback"},
+		{"loopback with trace", []string{"-transport", "loopback", "-trace", "x.json"}, "no virtual-time instrumentation"},
+		{"loopback with metrics", []string{"-transport", "loopback", "-metrics", "x.json"}, "no virtual-time instrumentation"},
+		{"loopback with report", []string{"-transport", "loopback", "-report"}, "no virtual-time instrumentation"},
+		{"loopback with check", []string{"-transport", "loopback", "-check"}, "no virtual-time instrumentation"},
+		{"loopback with faults", []string{"-transport", "loopback", "-faults", "drop=0.01"}, "cannot inject simulated faults"},
+		{"loopback with engine workers", []string{"-transport", "loopback", "-engine-workers", "2"}, "-engine-workers tunes the simulator"},
+		{"loopback with sweep", []string{"-transport", "loopback", "-threads", "1,2"}, "single -threads level"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			err := runErr(tc.args...)
@@ -128,6 +136,29 @@ func TestFaultedSweepRuns(t *testing.T) {
 	}
 	if got := strings.Count(out.String(), "duplicates suppressed"); got != 2 {
 		t.Errorf("sweep printed %d transport sections, want 2:\n%s", got, out.String())
+	}
+}
+
+// TestLoopbackTransportRun executes one run on the real in-process
+// backend through the command entry point and checks the reduced
+// report: wall time plus actual transport traffic, no virtual-time
+// sections.
+func TestLoopbackTransportRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-app", "sor", "-nodes", "4", "-threads", "2", "-size", "test",
+		"-transport", "loopback"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"over loopback: result verified", "wall time", "checksum", "total messages",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("loopback report missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "steady-state wall time") {
+		t.Errorf("loopback report leaked the simulator's report:\n%s", out.String())
 	}
 }
 

@@ -24,7 +24,7 @@
 //	cluster, err := cvm.New(cvm.DefaultConfig(4, 2)) // 4 nodes × 2 threads
 //	if err != nil { ... }
 //	data := cluster.MustAllocF64("data", 1<<16)
-//	stats, err := cluster.Run(func(w *cvm.Worker) {
+//	stats, err := cluster.Run(func(w cvm.Worker) {
 //	    chunk := data.Len / w.Threads()
 //	    for i := w.GlobalID() * chunk; i < (w.GlobalID()+1)*chunk; i++ {
 //	        data.Set(w, i, float64(i))
@@ -44,13 +44,98 @@ import (
 	"cvm/internal/trace"
 )
 
-// Re-exported core types. Worker is the handle application code uses for
-// shared-memory accesses and synchronization; see its methods in
-// internal/core.Thread.
+// Worker is one application thread (the paper's unit of multi-threading):
+// the handle through which application code accesses shared memory and
+// synchronizes. Two engines implement it — the simulated cluster behind
+// Cluster.Run (*core.Thread, deterministic virtual time) and the
+// real-execution runtime behind internal/rt (OS threads over a loopback
+// or TCP transport, wall time). Application code written against Worker
+// runs unchanged on both; only timing-dependent observations (Now,
+// Stats) differ between the engines.
+//
+// On the simulated engine every method deterministically advances
+// virtual time; on the real engine the modelling-only methods (Compute,
+// Phase, Yield, TouchPrivate) are free, since real hardware charges real
+// costs on its own.
+type Worker interface {
+	// GlobalID reports the thread's global index in [0, Threads()).
+	// Threads are numbered contiguously per node, so consecutive IDs are
+	// co-located — the layout the paper's applications assume.
+	GlobalID() int
+	// LocalID reports the thread's index within its node.
+	LocalID() int
+	// NodeID reports the node the thread runs on.
+	NodeID() int
+	// Threads reports the total number of application threads.
+	Threads() int
+	// Nodes reports the number of nodes.
+	Nodes() int
+	// LocalThreads reports the number of threads per node.
+	LocalThreads() int
+	// Now reports the thread's current time: virtual on the simulator,
+	// monotonic wall time since run start on real engines.
+	Now() Time
+	// Compute charges d of pure computation to the thread (simulation
+	// modelling; free on real engines).
+	Compute(d Time)
+	// Yield requests an explicit thread switch (a CVM system call).
+	Yield()
+	// Phase declares the application code region, driving the simulated
+	// instruction-locality model (free on real engines).
+	Phase(p int)
+	// TouchPrivate models an access to thread-private memory (free on
+	// real engines).
+	TouchPrivate(idx int)
+	// MarkSteadyState zeroes statistics counters after initialization,
+	// mirroring the paper's exclusion of startup from measurements.
+	MarkSteadyState()
+
+	// Barrier blocks until every thread has arrived at barrier id.
+	Barrier(id int)
+	// LocalBarrier blocks until every co-located thread has arrived.
+	LocalBarrier(id int)
+	// Lock acquires the global lock id; Unlock releases it.
+	Lock(id int)
+	Unlock(id int)
+	// ReduceF64 combines v across all threads with op and returns the
+	// result to every thread.
+	ReduceF64(id int, v float64, op ReduceOp) float64
+
+	// ReadF64/WriteF64 and ReadI64/WriteI64 access one shared value.
+	ReadF64(a Addr) float64
+	WriteF64(a Addr, v float64)
+	ReadI64(a Addr) int64
+	WriteI64(a Addr, v int64)
+	// The range forms batch the access check per page touched.
+	ReadRangeF64(a Addr, dst []float64)
+	WriteRangeF64(a Addr, src []float64)
+	FillF64(a Addr, n int, v float64)
+	ReadRangeI64(a Addr, dst []int64)
+	WriteRangeI64(a Addr, src []int64)
+	FillI64(a Addr, n int, v int64)
+	// AddF64 is a fused read-modify-write of one float64.
+	AddF64(a Addr, v float64)
+}
+
+// Allocator is the pre-run surface applications allocate their shared
+// segments against. Both cluster kinds implement it — the simulated
+// *Cluster here and the real-execution runtime's cluster — so an
+// application's setup code is engine-independent.
+type Allocator interface {
+	// Alloc reserves a page-aligned shared segment.
+	Alloc(name string, size int) (Addr, error)
+	// MustAlloc is Alloc, panicking on error.
+	MustAlloc(name string, size int) Addr
+	// PageSize reports the coherence unit in bytes.
+	PageSize() int
+	// Nodes reports the cluster's node count.
+	Nodes() int
+	// ThreadsPerNode reports the application threads per node.
+	ThreadsPerNode() int
+}
+
+// Re-exported core types.
 type (
-	// Worker is one application thread (the paper's unit of
-	// multi-threading).
-	Worker = core.Thread
 	// Addr is a byte offset in the shared address space.
 	Addr = core.Addr
 	// Config parameterizes the simulated cluster.
@@ -174,10 +259,19 @@ func (c *Cluster) MustAlloc(name string, size int) Addr {
 	return a
 }
 
+// PageSize reports the coherence unit in bytes (Allocator).
+func (c *Cluster) PageSize() int { return c.sys.Config().PageSize }
+
+// Nodes reports the cluster's node count (Allocator).
+func (c *Cluster) Nodes() int { return c.sys.Config().Nodes }
+
+// ThreadsPerNode reports the application threads per node (Allocator).
+func (c *Cluster) ThreadsPerNode() int { return c.sys.Config().ThreadsPerNode }
+
 // Run spawns Nodes × ThreadsPerNode workers executing main, runs the
 // simulation to completion, and returns the collected statistics.
-func (c *Cluster) Run(main func(*Worker)) (Stats, error) {
-	if err := c.sys.Start(main); err != nil {
+func (c *Cluster) Run(main func(Worker)) (Stats, error) {
+	if err := c.sys.Start(func(t *core.Thread) { main(t) }); err != nil {
 		return Stats{}, err
 	}
 	if err := c.sys.Run(); err != nil {

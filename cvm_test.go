@@ -11,7 +11,7 @@ func TestClusterQuickstart(t *testing.T) {
 	}
 	data := cluster.MustAllocF64("data", 4096)
 	var sum float64
-	stats, err := cluster.Run(func(w *Worker) {
+	stats, err := cluster.Run(func(w Worker) {
 		chunk := data.Len / w.Threads()
 		lo := w.GlobalID() * chunk
 		for i := lo; i < lo+chunk; i++ {
@@ -54,7 +54,7 @@ func TestI64Array(t *testing.T) {
 	}
 	arr := cluster.MustAllocI64("ints", 16)
 	var got int64
-	if _, err := cluster.Run(func(w *Worker) {
+	if _, err := cluster.Run(func(w Worker) {
 		if w.GlobalID() == 0 {
 			arr.Set(w, 5, -77)
 		}
@@ -99,7 +99,7 @@ func TestMatrixRoundTrip(t *testing.T) {
 	}
 	m := cluster.MustAllocF64Matrix("m", 8, 8, false)
 	bad := false
-	if _, err := cluster.Run(func(w *Worker) {
+	if _, err := cluster.Run(func(w Worker) {
 		for r := w.GlobalID(); r < m.Rows; r += w.Threads() {
 			for c := 0; c < m.Cols; c++ {
 				m.Set(w, r, c, float64(r*100+c))
@@ -127,7 +127,7 @@ func TestMustAllocPanicsAfterRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	cluster.MustAlloc("a", 64)
-	if _, err := cluster.Run(func(w *Worker) {}); err != nil {
+	if _, err := cluster.Run(func(w Worker) {}); err != nil {
 		t.Fatal(err)
 	}
 	defer func() {

@@ -17,7 +17,7 @@ func ExampleCluster() {
 	}
 	data := cluster.MustAllocF64("data", 8)
 
-	_, err = cluster.Run(func(w *cvm.Worker) {
+	_, err = cluster.Run(func(w cvm.Worker) {
 		if w.GlobalID() == 0 {
 			data.Set(w, 0, 42)
 		}
@@ -42,7 +42,7 @@ func ExampleWorker_ReduceF64() {
 	}
 	cluster.MustAlloc("pad", 64)
 
-	_, err = cluster.Run(func(w *cvm.Worker) {
+	_, err = cluster.Run(func(w cvm.Worker) {
 		sum := w.ReduceF64(0, float64(w.GlobalID()+1), cvm.ReduceSum)
 		if w.GlobalID() == 0 {
 			fmt.Println("sum of 1..8 =", sum)
@@ -63,7 +63,7 @@ func ExampleWorker_Lock() {
 	}
 	counter := cluster.MustAllocI64("counter", 1)
 
-	_, err = cluster.Run(func(w *cvm.Worker) {
+	_, err = cluster.Run(func(w cvm.Worker) {
 		for i := 0; i < 3; i++ {
 			w.Lock(1)
 			counter.Set(w, 0, counter.Get(w, 0)+1)

@@ -53,7 +53,7 @@ func solve(threads int) (cvm.Stats, error) {
 	}
 	grid := cluster.MustAllocF64Matrix("grid", rows, cols, true)
 
-	return cluster.Run(func(w *cvm.Worker) {
+	return cluster.Run(func(w cvm.Worker) {
 		if w.GlobalID() == 0 {
 			for i := 0; i < rows; i++ {
 				for j := 0; j < cols; j++ {

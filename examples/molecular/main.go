@@ -59,7 +59,7 @@ func accumulate(aggregated bool) (cvm.Stats, error) {
 	}
 	arrived := make([]int, nodes)
 
-	return cluster.Run(func(w *cvm.Worker) {
+	return cluster.Run(func(w cvm.Worker) {
 		w.Barrier(0)
 		if w.GlobalID() == 0 {
 			w.MarkSteadyState()

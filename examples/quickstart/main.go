@@ -27,7 +27,7 @@ func main() {
 	data := cluster.MustAllocF64("data", n)
 	partial := cluster.MustAllocF64("partials", 64)
 
-	stats, err := cluster.Run(func(w *cvm.Worker) {
+	stats, err := cluster.Run(func(w cvm.Worker) {
 		// Thread 0 initializes; the barrier publishes the writes (lazy
 		// release consistency: the barrier release carries write
 		// notices; later reads fault and fetch diffs).

@@ -27,7 +27,7 @@ func main() {
 	fmt.Printf("global sum, %d nodes x %d threads, %d rounds\n", nodes, threads, rounds)
 
 	// Naive: every thread takes a global lock to add its contribution.
-	naive, err := run(func(w *cvm.Worker, acc cvm.F64Array, round int) float64 {
+	naive, err := run(func(w cvm.Worker, acc cvm.F64Array, round int) float64 {
 		w.Lock(0)
 		acc.Add(w, round, float64(w.GlobalID()+1))
 		w.Unlock(0)
@@ -40,7 +40,7 @@ func main() {
 
 	// Built-in: the runtime aggregates locally, then one message pair
 	// per node.
-	builtin, err := run(func(w *cvm.Worker, acc cvm.F64Array, round int) float64 {
+	builtin, err := run(func(w cvm.Worker, acc cvm.F64Array, round int) float64 {
 		return w.ReduceF64(round, float64(w.GlobalID()+1), cvm.ReduceSum)
 	})
 	if err != nil {
@@ -56,13 +56,13 @@ func main() {
 
 // run executes `rounds` global sums with the given strategy and verifies
 // the result of the last round.
-func run(sum func(w *cvm.Worker, acc cvm.F64Array, round int) float64) (cvm.Stats, error) {
+func run(sum func(w cvm.Worker, acc cvm.F64Array, round int) float64) (cvm.Stats, error) {
 	cluster, err := cvm.New(cvm.DefaultConfig(nodes, threads))
 	if err != nil {
 		return cvm.Stats{}, err
 	}
 	acc := cluster.MustAllocF64("acc", rounds)
-	return cluster.Run(func(w *cvm.Worker) {
+	return cluster.Run(func(w cvm.Worker) {
 		w.Barrier(0)
 		if w.GlobalID() == 0 {
 			w.MarkSteadyState()

@@ -56,12 +56,12 @@ type App interface {
 	SupportsThreads(t int) bool
 
 	// Setup allocates the app's shared segments on the cluster.
-	Setup(c *cvm.Cluster) error
+	Setup(c cvm.Allocator) error
 
 	// Main is the thread body. It must initialize on global thread 0,
 	// call MarkSteadyState after the init barrier, and leave a checksum
 	// via the app's own state for Check.
-	Main(w *cvm.Worker)
+	Main(w cvm.Worker)
 
 	// Check validates the parallel result against the sequential
 	// reference, returning an error on mismatch.

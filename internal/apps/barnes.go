@@ -60,12 +60,12 @@ func (b *Barnes) Name() string { return "barnes" }
 func (b *Barnes) SupportsThreads(int) bool { return true }
 
 // Setup implements App.
-func (b *Barnes) Setup(c *cvm.Cluster) error {
+func (b *Barnes) Setup(c cvm.Allocator) error {
 	cells := b.grid * b.grid
-	b.pos = c.MustAllocF64Matrix("barnes.pos", b.bodies, 2, false)
-	b.vel = c.MustAllocF64Matrix("barnes.vel", b.bodies, 2, false)
-	b.mass = c.MustAllocF64("barnes.mass", b.bodies)
-	b.cell = c.MustAllocF64Matrix("barnes.cell", cells, 3, false)
+	b.pos = cvm.MustAllocF64Matrix(c, "barnes.pos", b.bodies, 2, false)
+	b.vel = cvm.MustAllocF64Matrix(c, "barnes.vel", b.bodies, 2, false)
+	b.mass = cvm.MustAllocF64(c, "barnes.mass", b.bodies)
+	b.cell = cvm.MustAllocF64Matrix(c, "barnes.cell", cells, 3, false)
 
 	// Deterministic placement, bodies sorted by cell so each cell's
 	// bodies are a contiguous range owned by one thread.
@@ -99,7 +99,7 @@ func (b *Barnes) Setup(c *cvm.Cluster) error {
 }
 
 // Main implements App.
-func (b *Barnes) Main(w *cvm.Worker) {
+func (b *Barnes) Main(w cvm.Worker) {
 	if w.GlobalID() == 0 {
 		var xy [2]float64
 		for i := 0; i < b.bodies; i++ {

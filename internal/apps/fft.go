@@ -51,17 +51,17 @@ func (f *FFT) Name() string { return "fft" }
 func (f *FFT) SupportsThreads(int) bool { return true }
 
 // Setup implements App.
-func (f *FFT) Setup(c *cvm.Cluster) error {
+func (f *FFT) Setup(c cvm.Allocator) error {
 	if f.m&(f.m-1) != 0 {
 		return fmt.Errorf("fft: m=%d must be a power of two", f.m)
 	}
-	f.a = c.MustAllocF64Matrix("fft.a", f.m, 2*f.m, false)
-	f.b = c.MustAllocF64Matrix("fft.b", f.m, 2*f.m, false)
+	f.a = cvm.MustAllocF64Matrix(c, "fft.a", f.m, 2*f.m, false)
+	f.b = cvm.MustAllocF64Matrix(c, "fft.b", f.m, 2*f.m, false)
 	return nil
 }
 
 // Main implements App.
-func (f *FFT) Main(w *cvm.Worker) {
+func (f *FFT) Main(w cvm.Worker) {
 	if w.GlobalID() == 0 {
 		r := lcg(7)
 		row := make([]float64, 2*f.m)
@@ -142,7 +142,7 @@ func (f *FFT) Main(w *cvm.Worker) {
 // spans into private buffers, transformed (the n·log n arithmetic charged
 // as computation), and written back as spans. row is a 2*m scratch buffer
 // for the interleaved re/im layout.
-func (f *FFT) fftRows(w *cvm.Worker, mat cvm.F64Matrix, lo, hi int, re, im, row []float64) {
+func (f *FFT) fftRows(w cvm.Worker, mat cvm.F64Matrix, lo, hi int, re, im, row []float64) {
 	logM := 0
 	for 1<<logM < f.m {
 		logM++

@@ -55,20 +55,20 @@ func (o *Ocean) Name() string { return "ocean" }
 func (o *Ocean) SupportsThreads(t int) bool { return t&(t-1) == 0 }
 
 // Setup implements App.
-func (o *Ocean) Setup(c *cvm.Cluster) error {
-	o.u = c.MustAllocF64Matrix("ocean.u", o.n, o.n, false)
-	o.b = c.MustAllocF64Matrix("ocean.b", o.n, o.n, false)
-	o.r = c.MustAllocF64Matrix("ocean.r", o.n, o.n, false)
-	o.psi = c.MustAllocF64Matrix("ocean.psi", o.n, o.n, false)
-	o.coarse = c.MustAllocF64Matrix("ocean.coarse", o.n/2, o.n/2, false)
-	o.resid = c.MustAllocF64("ocean.resid", 8)
+func (o *Ocean) Setup(c cvm.Allocator) error {
+	o.u = cvm.MustAllocF64Matrix(c, "ocean.u", o.n, o.n, false)
+	o.b = cvm.MustAllocF64Matrix(c, "ocean.b", o.n, o.n, false)
+	o.r = cvm.MustAllocF64Matrix(c, "ocean.r", o.n, o.n, false)
+	o.psi = cvm.MustAllocF64Matrix(c, "ocean.psi", o.n, o.n, false)
+	o.coarse = cvm.MustAllocF64Matrix(c, "ocean.coarse", o.n/2, o.n/2, false)
+	o.resid = cvm.MustAllocF64(c, "ocean.resid", 8)
 	o.nodeResid = make([]float64, 64)
 	o.nodeCnt = make([]int, 64)
 	return nil
 }
 
 // Main implements App.
-func (o *Ocean) Main(w *cvm.Worker) {
+func (o *Ocean) Main(w cvm.Worker) {
 	n := o.n
 	if w.GlobalID() == 0 {
 		r := lcg(31)

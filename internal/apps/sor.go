@@ -44,16 +44,16 @@ func (s *SOR) Name() string { return "sor" }
 func (s *SOR) SupportsThreads(int) bool { return true }
 
 // Setup implements App.
-func (s *SOR) Setup(c *cvm.Cluster) error {
+func (s *SOR) Setup(c cvm.Allocator) error {
 	if s.rows < 3 || s.cols < 3 {
 		return fmt.Errorf("sor: grid %dx%d too small", s.rows, s.cols)
 	}
-	s.grid = c.MustAllocF64Matrix("sor.grid", s.rows, s.cols, true)
+	s.grid = cvm.MustAllocF64Matrix(c, "sor.grid", s.rows, s.cols, true)
 	return nil
 }
 
 // Main implements App.
-func (s *SOR) Main(w *cvm.Worker) {
+func (s *SOR) Main(w cvm.Worker) {
 	g := s.grid
 	if w.GlobalID() == 0 {
 		r := lcg(1)

@@ -43,18 +43,18 @@ func (s *SWM) Name() string { return "swm750" }
 func (s *SWM) SupportsThreads(int) bool { return true }
 
 // Setup implements App.
-func (s *SWM) Setup(c *cvm.Cluster) error {
-	s.u = c.MustAllocF64Matrix("swm.u", s.n, s.n, false)
-	s.v = c.MustAllocF64Matrix("swm.v", s.n, s.n, false)
-	s.p = c.MustAllocF64Matrix("swm.p", s.n, s.n, false)
-	s.unew = c.MustAllocF64Matrix("swm.unew", s.n, s.n, false)
-	s.vnew = c.MustAllocF64Matrix("swm.vnew", s.n, s.n, false)
-	s.pnew = c.MustAllocF64Matrix("swm.pnew", s.n, s.n, false)
+func (s *SWM) Setup(c cvm.Allocator) error {
+	s.u = cvm.MustAllocF64Matrix(c, "swm.u", s.n, s.n, false)
+	s.v = cvm.MustAllocF64Matrix(c, "swm.v", s.n, s.n, false)
+	s.p = cvm.MustAllocF64Matrix(c, "swm.p", s.n, s.n, false)
+	s.unew = cvm.MustAllocF64Matrix(c, "swm.unew", s.n, s.n, false)
+	s.vnew = cvm.MustAllocF64Matrix(c, "swm.vnew", s.n, s.n, false)
+	s.pnew = cvm.MustAllocF64Matrix(c, "swm.pnew", s.n, s.n, false)
 	return nil
 }
 
 // Main implements App.
-func (s *SWM) Main(w *cvm.Worker) {
+func (s *SWM) Main(w cvm.Worker) {
 	n := s.n
 	if w.GlobalID() == 0 {
 		r := lcg(11)

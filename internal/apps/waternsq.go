@@ -99,19 +99,18 @@ func (a *WaterNsq) Name() string {
 func (a *WaterNsq) SupportsThreads(int) bool { return true }
 
 // Setup implements App.
-func (a *WaterNsq) Setup(c *cvm.Cluster) error {
+func (a *WaterNsq) Setup(c cvm.Allocator) error {
 	if a.n < 4 {
 		return fmt.Errorf("waternsq: %d molecules too few", a.n)
 	}
-	a.mol = c.MustAllocF64Matrix("water.mol", a.n, molStride, false)
-	a.epot = c.MustAllocF64("water.epot", 1)
+	a.mol = cvm.MustAllocF64Matrix(c, "water.mol", a.n, molStride, false)
+	a.epot = cvm.MustAllocF64(c, "water.epot", 1)
 
-	cfg := c.System().Config()
-	a.nodeForce = make([][]float64, cfg.Nodes)
+	a.nodeForce = make([][]float64, c.Nodes())
 	for i := range a.nodeForce {
 		a.nodeForce[i] = make([]float64, 3*a.n)
 	}
-	a.nodeEpot = make([]float64, cfg.Nodes)
+	a.nodeEpot = make([]float64, c.Nodes())
 
 	r := lcg(41)
 	a.initPos = make([]float64, 3*a.n)
@@ -133,7 +132,7 @@ const (
 )
 
 // Main implements App.
-func (a *WaterNsq) Main(w *cvm.Worker) {
+func (a *WaterNsq) Main(w cvm.Worker) {
 	if w.GlobalID() == 0 {
 		rec := make([]float64, molStride)
 		for i := 0; i < a.n; i++ {
@@ -316,7 +315,7 @@ func (a *WaterNsq) Main(w *cvm.Worker) {
 // readDescending reports whether this thread should traverse its
 // molecules in descending order (the `Both` read-reordering: odd local
 // threads start at the opposite end).
-func (a *WaterNsq) readDescending(w *cvm.Worker) bool {
+func (a *WaterNsq) readDescending(w cvm.Worker) bool {
 	return a.variant == WaterBoth && w.LocalID()%2 == 1
 }
 

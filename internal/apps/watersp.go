@@ -67,22 +67,22 @@ const (
 )
 
 // get and set access field f of molecule i through the scattered layout.
-func (a *WaterSp) get(w *cvm.Worker, i, f int) float64 {
+func (a *WaterSp) get(w cvm.Worker, i, f int) float64 {
 	return a.mol.Get(w, a.slot[i], f)
 }
 
-func (a *WaterSp) set(w *cvm.Worker, i, f int, v float64) {
+func (a *WaterSp) set(w cvm.Worker, i, f int, v float64) {
 	a.mol.Set(w, a.slot[i], f, v)
 }
 
 // getSpan and setSpan access the contiguous fields [f, f+len) of molecule
 // i's record as one span: the records scatter across pages, but fields
 // within a record are adjacent, so each record costs one access check.
-func (a *WaterSp) getSpan(w *cvm.Worker, i, f int, dst []float64) {
+func (a *WaterSp) getSpan(w cvm.Worker, i, f int, dst []float64) {
 	a.mol.RowRange(w, a.slot[i], f, dst)
 }
 
-func (a *WaterSp) setSpan(w *cvm.Worker, i, f int, src []float64) {
+func (a *WaterSp) setSpan(w cvm.Worker, i, f int, src []float64) {
 	a.mol.SetRowRange(w, a.slot[i], f, src)
 }
 
@@ -96,14 +96,13 @@ func (a *WaterSp) cells() int     { return a.side * a.side * a.side }
 func (a *WaterSp) molecules() int { return a.cells() * a.perC }
 
 // Setup implements App.
-func (a *WaterSp) Setup(c *cvm.Cluster) error {
+func (a *WaterSp) Setup(c cvm.Allocator) error {
 	n := a.molecules()
-	a.mol = c.MustAllocF64Matrix("watersp.mol", n, molStride, false)
-	a.epot = c.MustAllocF64("watersp.epot", 1)
+	a.mol = cvm.MustAllocF64Matrix(c, "watersp.mol", n, molStride, false)
+	a.epot = cvm.MustAllocF64(c, "watersp.epot", 1)
 
-	cfg := c.System().Config()
-	a.nodeEpot = make([]float64, cfg.Nodes)
-	a.nodeCnt = make([]int, cfg.Nodes)
+	a.nodeEpot = make([]float64, c.Nodes())
+	a.nodeCnt = make([]int, c.Nodes())
 
 	// Molecule i's record lives at shared slot a.slot[i], a deterministic
 	// shuffle: the SPLASH original reaches molecules through per-cell
@@ -166,7 +165,7 @@ func (a *WaterSp) neighborCells(cell int) []int {
 }
 
 // Main implements App.
-func (a *WaterSp) Main(w *cvm.Worker) {
+func (a *WaterSp) Main(w cvm.Worker) {
 	n := a.molecules()
 	if w.GlobalID() == 0 {
 		rec := make([]float64, molStride)

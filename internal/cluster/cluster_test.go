@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cvm"
+	"cvm/internal/apps"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{App: "sor", Size: "test", Nodes: 4, Threads: 2, Page: 4096}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*Spec){
+		"zero nodes":          func(s *Spec) { s.Nodes = 0 },
+		"zero threads":        func(s *Spec) { s.Threads = 0 },
+		"bad page":            func(s *Spec) { s.Page = 12 },
+		"unknown app":         func(s *Spec) { s.App = "nosuch" },
+		"unknown size":        func(s *Spec) { s.Size = "huge" },
+		"unsupported threads": func(s *Spec) { s.App = "ocean"; s.Threads = 3 },
+	} {
+		s := good
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: spec %+v validated", name, s)
+		}
+	}
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// runCluster drives a full Coordinate/Join cluster in-process and
+// returns the coordinator's outcome and every member's.
+func runCluster(t *testing.T, spec Spec) (Outcome, []Outcome) {
+	t.Helper()
+	addr := freePort(t)
+	opts := Options{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	var coord Outcome
+	var coordErr error
+	members := make([]Outcome, spec.Nodes)
+	errs := make([]error, spec.Nodes)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		coord, coordErr = Coordinate(addr, spec, opts)
+	}()
+	for id := 1; id < spec.Nodes; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			members[id], errs[id] = Join(addr, id, spec.Nodes, opts)
+		}(id)
+	}
+	wg.Wait()
+	if coordErr != nil {
+		t.Fatalf("coordinator: %v", coordErr)
+	}
+	for id := 1; id < spec.Nodes; id++ {
+		if errs[id] != nil {
+			t.Fatalf("node %d: %v", id, errs[id])
+		}
+	}
+	return coord, members[1:]
+}
+
+// TestClusterMatchesSimulator boots a 4-process-equivalent cluster for
+// two SPLASH applications — the lock-bound Water-Nsq and the
+// barrier-bound SOR — and requires the TCP cluster's checksum to equal
+// the deterministic simulator's exactly.
+func TestClusterMatchesSimulator(t *testing.T) {
+	for _, app := range []string{"sor", "waternsq"} {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			spec := Spec{App: app, Size: "test", Nodes: 4, Threads: 2, Page: 4096, Seed: 1}
+			coord, members := runCluster(t, spec)
+			_, simSum, err := apps.RunConfigFull(app, apps.SizeTest,
+				cvm.DefaultConfig(spec.Nodes, spec.Threads), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if coord.Checksum != simSum {
+				t.Fatalf("cluster checksum %v, simulator %v", coord.Checksum, simSum)
+			}
+			for i, m := range members {
+				if m.Checksum != simSum {
+					t.Errorf("node %d got checksum %v, want %v", i+1, m.Checksum, simSum)
+				}
+				if m.Net.TotalMsgs() == 0 {
+					t.Errorf("node %d reports zero traffic", i+1)
+				}
+			}
+		})
+	}
+}
+
+// TestCoordinatorRejectsBadHello exercises the membership validation
+// paths end to end: the faulty member gets the reason over the wire and
+// the coordinator aborts rather than hangs.
+func TestCoordinatorRejectsBadHello(t *testing.T) {
+	for name, tc := range map[string]struct {
+		nodeID, nodes int
+		want          string
+	}{
+		"id out of range": {nodeID: 9, nodes: 0, want: "node id 9"},
+		"nodes mismatch":  {nodeID: 1, nodes: 3, want: "expects 3 nodes"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			addr := freePort(t)
+			opts := Options{Timeout: 10 * time.Second}
+			spec := Spec{App: "sor", Size: "test", Nodes: 2, Threads: 1, Page: 4096}
+			var wg sync.WaitGroup
+			var coordErr, memberErr error
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				_, coordErr = Coordinate(addr, spec, opts)
+			}()
+			go func() {
+				defer wg.Done()
+				_, memberErr = Join(addr, tc.nodeID, tc.nodes, opts)
+			}()
+			wg.Wait()
+			if coordErr == nil || !strings.Contains(coordErr.Error(), tc.want) {
+				t.Errorf("coordinator error = %v, want %q", coordErr, tc.want)
+			}
+			if memberErr == nil || !strings.Contains(memberErr.Error(), tc.want) {
+				t.Errorf("member error = %v, want %q", memberErr, tc.want)
+			}
+		})
+	}
+}
+
+func TestJoinValidatesNodeID(t *testing.T) {
+	if _, err := Join("127.0.0.1:1", 0, 2, Options{Timeout: time.Second}); err == nil ||
+		!strings.Contains(err.Error(), "node id 0") {
+		t.Errorf("Join with id 0 = %v, want node id error", err)
+	}
+}

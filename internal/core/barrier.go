@@ -1,7 +1,6 @@
 package core
 
 import (
-	"cvm/internal/netsim"
 	"cvm/internal/trace"
 )
 
@@ -76,8 +75,8 @@ func (t *Thread) Barrier(id int) {
 	}
 	infos := n.ownInfosSince() // manager learns our new intervals
 	bytes := barrierMsgBytes + vt.wireBytes() + infosBytes(infos)
-	sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
-		netsim.ClassBarrier, bytes, func() {
+	sys.sendFromTask(t.task, NodeID(n.id), NodeID(mgr),
+		ClassBarrier, bytes, func() {
 			sys.nodes[mgr].applyInfos(infos, nil)
 			sys.barrierArrival(id, n.id, vt)
 		})
@@ -134,8 +133,8 @@ func (s *System) barrierArrival(id, from int, vt VClock) {
 		infos := mgr.newInfosSince(ep.arrivalVT[nodeID])
 		bytes := barrierMsgBytes + mgr.vt.wireBytes() + infosBytes(infos)
 		mgrVT := mgr.vt.Clone()
-		s.sendFromHandler(netsim.NodeID(0), netsim.NodeID(nodeID),
-			netsim.ClassBarrier, bytes, func() {
+		s.sendFromHandler(NodeID(0), NodeID(nodeID),
+			ClassBarrier, bytes, func() {
 				n := s.nodes[nodeID]
 				n.applyInfos(infos, mgrVT)
 				n.releaseBarrier(id)

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"cvm/internal/netsim"
 	"cvm/internal/sim"
 	"cvm/internal/trace"
 )
@@ -127,12 +126,12 @@ func (t *Thread) remoteFault(p *page) {
 	for _, r := range ranges {
 		r := r
 		target := sys.nodes[r.node]
-		sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(r.node),
-			netsim.ClassDiff, diffRequestBytes, func() {
+		sys.sendFromTask(t.task, NodeID(n.id), NodeID(r.node),
+			ClassDiff, diffRequestBytes, func() {
 				target.serveDiffRequest(p.id, r.from, r.to, func(ds []*Diff, bytes int, service sim.Time) {
 					sys.eng.ScheduleOn(target.proc, target.proc.LocalNow()+service, func() {
-						sys.sendFromHandler(netsim.NodeID(r.node), netsim.NodeID(n.id),
-							netsim.ClassDiff, bytes, func() {
+						sys.sendFromHandler(NodeID(r.node), NodeID(n.id),
+							ClassDiff, bytes, func() {
 								fs.diffs = append(fs.diffs, ds...)
 								fs.outstanding--
 								if fs.outstanding == 0 {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"cvm/internal/netsim"
 	"cvm/internal/sim"
 	"cvm/internal/trace"
 )
@@ -143,16 +142,16 @@ func (t *Thread) sendLockRequest(l *lockState) {
 		// (The token cannot be here: the fast path would have taken it.)
 		last := l.mgrLast
 		l.mgrLast = n.id
-		sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(last),
-			netsim.ClassLock, bytes, func() {
+		sys.sendFromTask(t.task, NodeID(n.id), NodeID(last),
+			ClassLock, bytes, func() {
 				// Two messages total (request straight to the holder,
 				// grant back): the 2-hop path, no manager forward.
 				sys.nodes[last].handleLockHandoff(l.id, n.id, reqVT, 2)
 			})
 		return
 	}
-	sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
-		netsim.ClassLock, bytes, func() {
+	sys.sendFromTask(t.task, NodeID(n.id), NodeID(mgr),
+		ClassLock, bytes, func() {
 			sys.nodes[mgr].handleLockManagerRequest(l.id, n.id, reqVT)
 		})
 }
@@ -177,8 +176,8 @@ func (n *node) handleLockManagerRequest(id, from int, reqVT VClock) {
 			Node: int32(n.id), Thread: -1, Sync: int32(id),
 			Peer: int32(last), Arg: int64(from)})
 	}
-	sys.sendFromHandler(netsim.NodeID(n.id), netsim.NodeID(last),
-		netsim.ClassLock, lockMsgBytes+reqVT.wireBytes(), func() {
+	sys.sendFromHandler(NodeID(n.id), NodeID(last),
+		ClassLock, lockMsgBytes+reqVT.wireBytes(), func() {
 			sys.nodes[last].handleLockHandoff(id, from, reqVT, 3)
 		})
 }
@@ -209,8 +208,8 @@ func (n *node) grantLock(l *lockState, to int, reqVT VClock, hops uint8) {
 	bytes := lockMsgBytes + n.vt.wireBytes() + infosBytes(infos)
 	vt := n.vt.Clone()
 	sys := n.sys
-	sys.sendFromHandler(netsim.NodeID(n.id), netsim.NodeID(to),
-		netsim.ClassLock, bytes, func() {
+	sys.sendFromHandler(NodeID(n.id), NodeID(to),
+		ClassLock, bytes, func() {
 			sys.nodes[to].handleLockGrant(l.id, infos, vt, hops)
 		})
 }
@@ -268,8 +267,8 @@ func (t *Thread) Unlock(id int) {
 		bytes := lockMsgBytes + n.vt.wireBytes() + infosBytes(infos)
 		myVT := n.vt.Clone()
 		sys := t.sys
-		sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(to),
-			netsim.ClassLock, bytes, func() {
+		sys.sendFromTask(t.task, NodeID(n.id), NodeID(to),
+			ClassLock, bytes, func() {
 				sys.nodes[to].handleLockGrant(id, infos, myVT, hops)
 			})
 	}

@@ -1,9 +1,5 @@
 package core
 
-import (
-	"cvm/internal/netsim"
-)
-
 // ReduceOp selects the combining operator of a reduction.
 type ReduceOp uint8
 
@@ -13,6 +9,11 @@ const (
 	ReduceMax
 	ReduceMin
 )
+
+// Combine applies op to two partial results; other engines (internal/rt)
+// reuse it so every runtime folds reductions with the same operator
+// semantics.
+func Combine(op ReduceOp, a, b float64) float64 { return op.combine(a, b) }
 
 func (op ReduceOp) combine(a, b float64) float64 {
 	switch op {
@@ -86,8 +87,8 @@ func (t *Thread) ReduceF64(id int, v float64, op ReduceOp) float64 {
 		t.block(ReasonBarrier)
 		return r.result
 	}
-	sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
-		netsim.ClassBarrier, reduceMsgBytes, func() {
+	sys.sendFromTask(t.task, NodeID(n.id), NodeID(mgr),
+		ClassBarrier, reduceMsgBytes, func() {
 			sys.reduceArrival(id, contribution, op)
 		})
 	t.block(ReasonBarrier)
@@ -118,8 +119,8 @@ func (s *System) reduceArrival(id int, v float64, op ReduceOp) {
 	result := ep.acc
 	for nodeID := 1; nodeID < s.cfg.Nodes; nodeID++ {
 		nodeID := nodeID
-		s.sendFromHandler(netsim.NodeID(0), netsim.NodeID(nodeID),
-			netsim.ClassBarrier, reduceMsgBytes, func() {
+		s.sendFromHandler(NodeID(0), NodeID(nodeID),
+			ClassBarrier, reduceMsgBytes, func() {
 				s.nodes[nodeID].finishReduce(id, result)
 			})
 	}

@@ -3,7 +3,6 @@ package core
 import (
 	"math/bits"
 
-	"cvm/internal/netsim"
 	"cvm/internal/sim"
 	"cvm/internal/trace"
 )
@@ -127,8 +126,8 @@ func (t *Thread) swEnsureAccess(p *page, write bool) {
 					sys.nodes[mgr].swHandleRequest(p.id, req)
 				})
 			} else {
-				sys.sendFromTask(t.task, netsim.NodeID(n.id), netsim.NodeID(mgr),
-					netsim.ClassDiff, swCtlBytes, func() {
+				sys.sendFromTask(t.task, NodeID(n.id), NodeID(mgr),
+					ClassDiff, swCtlBytes, func() {
 						sys.nodes[mgr].swHandleRequest(p.id, req)
 					})
 			}
@@ -291,8 +290,8 @@ func (n *node) swSend(to int, bytes int, fn func()) {
 		n.sys.eng.ScheduleOn(n.proc, n.proc.LocalNow(), fn)
 		return
 	}
-	n.sys.sendFromHandler(netsim.NodeID(n.id), netsim.NodeID(to),
-		netsim.ClassDiff, bytes, fn)
+	n.sys.sendFromHandler(NodeID(n.id), NodeID(to),
+		ClassDiff, bytes, fn)
 }
 
 // swCtlBytes is the wire size of directory control messages.

@@ -139,9 +139,10 @@ type Segment struct {
 type System struct {
 	cfg       Config
 	engv      sim.Engine     // the engine, embedded; eng points here
-	netv      netsim.Network // the interconnect, embedded; net points here
+	netv      netsim.Network // the simulated interconnect; net points here
 	eng       *sim.Engine
 	net       *netsim.Network
+	fab       Interconnect // what the protocol sends through; defaults to net
 	nodes     []*node
 	pageShift uint
 
@@ -172,7 +173,7 @@ type System struct {
 	// transport is the reliable message envelope, non-nil only when
 	// cfg.Faults enables network faults; every protocol send checks it
 	// via the sendFromTask/sendFromHandler wrappers.
-	transport *transport
+	transport *reliable
 }
 
 // NewSystem builds a cluster from cfg.
@@ -194,6 +195,7 @@ func NewSystem(cfg Config) (*System, error) {
 	s.eng = &s.engv
 	s.netv.Init(s.eng, cfg.Nodes, cfg.Net)
 	s.net = &s.netv
+	s.fab = s.net
 	eng := s.eng
 	s.net.SetTracer(cfg.Tracer)
 	if s.met != nil {

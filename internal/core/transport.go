@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"cvm/internal/netsim"
 	"cvm/internal/sim"
 	"cvm/internal/trace"
 )
@@ -55,23 +54,28 @@ var ErrTransport = fmt.Errorf("core: transport failure")
 
 // transportFailure carries the failing message's coordinates from the
 // engine event that detected it (via panic) to System.Run's recover.
+// backend and peer attribute the failure to a concrete interconnect and
+// address, so multi-process failures are diagnosable from the error text
+// alone.
 type transportFailure struct {
 	at       sim.Time
-	from, to netsim.NodeID
-	class    netsim.Class
+	from, to NodeID
+	class    MsgClass
 	seq      uint64
 	attempts int
+	backend  string
+	peer     string
 }
 
 func (tf *transportFailure) error() error {
-	return fmt.Errorf("%w: %v message %d from node %d to node %d undelivered after %d attempts (T=%v)",
-		ErrTransport, tf.class, tf.seq, tf.from, tf.to, tf.attempts, tf.at)
+	return fmt.Errorf("%w: %v message %d from node %d to node %d (%s via %s) undelivered after %d attempts (T=%v)",
+		ErrTransport, tf.class, tf.seq, tf.from, tf.to, tf.peer, tf.backend, tf.attempts, tf.at)
 }
 
 // pendingMsg is one unacknowledged message at its sender.
 type pendingMsg struct {
-	from, to netsim.NodeID
-	class    netsim.Class
+	from, to NodeID
+	class    MsgClass
 	bytes    int
 	seq      uint64
 	attempt  int
@@ -89,9 +93,9 @@ type tchan struct {
 	seen      map[uint64]bool // delivered seqs > watermark
 }
 
-// transport implements the reliable envelope over netsim. It exists
+// reliable implements the retransmitting envelope over the interconnect. It exists
 // only when Config.Faults enables network faults.
-type transport struct {
+type reliable struct {
 	sys        *System
 	nodes      int
 	rto        sim.Time
@@ -99,14 +103,14 @@ type transport struct {
 	chans      []*tchan
 }
 
-func newTransport(s *System, rto sim.Time, maxRetries int) *transport {
+func newTransport(s *System, rto sim.Time, maxRetries int) *reliable {
 	if rto <= 0 {
 		rto = DefaultRTO
 	}
 	if maxRetries <= 0 {
 		maxRetries = DefaultMaxRetries
 	}
-	tr := &transport{
+	tr := &reliable{
 		sys:        s,
 		nodes:      s.cfg.Nodes,
 		rto:        rto,
@@ -124,7 +128,7 @@ func newTransport(s *System, rto sim.Time, maxRetries int) *transport {
 	return tr
 }
 
-func (tr *transport) chanFor(from, to netsim.NodeID) *tchan {
+func (tr *reliable) chanFor(from, to NodeID) *tchan {
 	return tr.chans[int(from)*tr.nodes+int(to)]
 }
 
@@ -132,24 +136,24 @@ func (tr *transport) chanFor(from, to netsim.NodeID) *tchan {
 // task-context sends (the first transmission charges the task's send
 // overhead and lowers its causality horizon, exactly like the raw
 // netsim path); retransmissions always run from engine context.
-func (tr *transport) send(task *sim.Task, from, to netsim.NodeID, class netsim.Class, bytes int, deliver func()) {
+func (tr *reliable) send(task *sim.Task, from, to NodeID, class MsgClass, bytes int, deliver func()) {
 	ch := tr.chanFor(from, to)
 	ch.nextSeq++
 	pm := &pendingMsg{from: from, to: to, class: class, bytes: bytes, seq: ch.nextSeq, deliver: deliver}
 	ch.pending[pm.seq] = pm
 	if task != nil {
-		tr.sys.net.SendFromTask(task, from, to, class, bytes, tr.recvFunc(pm))
+		tr.sys.fab.SendFromTask(task, from, to, class, bytes, tr.recvFunc(pm))
 		task.Schedule(task.Now()+tr.rto, func() { tr.checkAck(pm) })
 		return
 	}
-	tr.sys.net.SendFromHandler(from, to, class, bytes, tr.recvFunc(pm))
+	tr.sys.fab.SendFromHandler(from, to, class, bytes, tr.recvFunc(pm))
 	fp := tr.sys.nodes[from].proc
 	tr.sys.eng.ScheduleOn(fp, fp.LocalNow()+tr.rto, func() { tr.checkAck(pm) })
 }
 
 // recvFunc wraps a message's delivery for the receiver: ack, dedupe,
 // then deliver. Runs in engine context at the receiving node.
-func (tr *transport) recvFunc(pm *pendingMsg) func() {
+func (tr *reliable) recvFunc(pm *pendingMsg) func() {
 	return func() {
 		sys := tr.sys
 		ch := tr.chanFor(pm.from, pm.to)
@@ -159,7 +163,7 @@ func (tr *transport) recvFunc(pm *pendingMsg) func() {
 		// are idempotent at the sender, so they need no envelope of
 		// their own.
 		seq := pm.seq
-		sys.net.SendFromHandler(pm.to, pm.from, pm.class, ackBytes, func() {
+		sys.fab.SendFromHandler(pm.to, pm.from, pm.class, ackBytes, func() {
 			delete(ch.pending, seq)
 		})
 		if seq <= ch.watermark || ch.seen[seq] {
@@ -193,7 +197,7 @@ func (tr *transport) recvFunc(pm *pendingMsg) func() {
 // checkAck fires rto·2^attempt after a (re)transmission: if the message
 // is still pending, retransmit with doubled backoff or fail the run.
 // Runs in engine context.
-func (tr *transport) checkAck(pm *pendingMsg) {
+func (tr *reliable) checkAck(pm *pendingMsg) {
 	sys := tr.sys
 	ch := tr.chanFor(pm.from, pm.to)
 	if ch.pending[pm.seq] != pm {
@@ -205,7 +209,8 @@ func (tr *transport) checkAck(pm *pendingMsg) {
 		// System.Run, which shuts the engine down and reports the
 		// message's coordinates.
 		panic(&transportFailure{at: sys.nodes[pm.from].proc.LocalNow(), from: pm.from, to: pm.to,
-			class: pm.class, seq: pm.seq, attempts: pm.attempt})
+			class: pm.class, seq: pm.seq, attempts: pm.attempt,
+			backend: sys.fab.Name(), peer: sys.fab.PeerAddr(pm.to)})
 	}
 	sys.nodes[pm.from].stats.Retransmits++
 	if sys.met != nil {
@@ -216,7 +221,7 @@ func (tr *transport) checkAck(pm *pendingMsg) {
 			Node: int32(pm.from), Thread: -1, Peer: int32(pm.to),
 			Sync: int32(pm.class), Aux: int64(pm.seq), Arg: int64(pm.attempt)})
 	}
-	sys.net.SendFromHandler(pm.from, pm.to, pm.class, pm.bytes, tr.recvFunc(pm))
+	sys.fab.SendFromHandler(pm.from, pm.to, pm.class, pm.bytes, tr.recvFunc(pm))
 	fp := sys.nodes[pm.from].proc
 	sys.eng.ScheduleOn(fp, fp.LocalNow()+tr.rto<<uint(pm.attempt), func() { tr.checkAck(pm) })
 }
@@ -224,18 +229,18 @@ func (tr *transport) checkAck(pm *pendingMsg) {
 // sendFromTask routes a task-context protocol send through the reliable
 // transport when faults are enabled, or straight to netsim when not.
 // Every cross-node send in the protocol goes through these two wrappers.
-func (s *System) sendFromTask(t *sim.Task, from, to netsim.NodeID, class netsim.Class, bytes int, deliver func()) {
+func (s *System) sendFromTask(t *sim.Task, from, to NodeID, class MsgClass, bytes int, deliver func()) {
 	if s.transport == nil {
-		s.net.SendFromTask(t, from, to, class, bytes, deliver)
+		s.fab.SendFromTask(t, from, to, class, bytes, deliver)
 		return
 	}
 	s.transport.send(t, from, to, class, bytes, deliver)
 }
 
 // sendFromHandler is the engine-context counterpart of sendFromTask.
-func (s *System) sendFromHandler(from, to netsim.NodeID, class netsim.Class, bytes int, deliver func()) {
+func (s *System) sendFromHandler(from, to NodeID, class MsgClass, bytes int, deliver func()) {
 	if s.transport == nil {
-		s.net.SendFromHandler(from, to, class, bytes, deliver)
+		s.fab.SendFromHandler(from, to, class, bytes, deliver)
 		return
 	}
 	s.transport.send(nil, from, to, class, bytes, deliver)

@@ -23,7 +23,7 @@ func MeasureCosts() (Costs, error) {
 	var c Costs
 
 	// 2-hop lock: the manager holds the free token.
-	if err := micro(2, 1, func(w *cvm.Worker) {
+	if err := micro(2, 1, func(w cvm.Worker) {
 		if w.NodeID() == 1 {
 			start := w.Now()
 			w.Lock(0)
@@ -35,7 +35,7 @@ func MeasureCosts() (Costs, error) {
 	}
 
 	// 3-hop lock: the token is at a third node.
-	if err := micro(3, 1, func(w *cvm.Worker) {
+	if err := micro(3, 1, func(w cvm.Worker) {
 		if w.NodeID() == 1 {
 			w.Lock(0)
 			w.Unlock(0)
@@ -52,7 +52,7 @@ func MeasureCosts() (Costs, error) {
 	}
 
 	// Remote page fault fetching a full-page diff.
-	if err := microAlloc(2, 1, 8192, func(w *cvm.Worker, addr cvm.Addr) {
+	if err := microAlloc(2, 1, 8192, func(w cvm.Worker, addr cvm.Addr) {
 		if w.NodeID() == 0 {
 			for i := 0; i < 8192; i += 8 {
 				w.WriteF64(addr+cvm.Addr(i), float64(i))
@@ -69,7 +69,7 @@ func MeasureCosts() (Costs, error) {
 	}
 
 	// Minimal 8-processor barrier, back-to-back.
-	if err := micro(8, 1, func(w *cvm.Worker) {
+	if err := micro(8, 1, func(w cvm.Worker) {
 		w.Barrier(0)
 		start := w.Now()
 		w.Barrier(1)
@@ -82,7 +82,7 @@ func MeasureCosts() (Costs, error) {
 
 	// Thread switch.
 	var t0End, t1Start cvm.Time
-	if err := micro(1, 2, func(w *cvm.Worker) {
+	if err := micro(1, 2, func(w cvm.Worker) {
 		if w.LocalID() == 0 {
 			w.Compute(10 * cvm.Microsecond)
 			t0End = w.Now()
@@ -98,17 +98,17 @@ func MeasureCosts() (Costs, error) {
 	return c, nil
 }
 
-func micro(nodes, threads int, main func(*cvm.Worker)) error {
-	return microAlloc(nodes, threads, 8192, func(w *cvm.Worker, _ cvm.Addr) { main(w) })
+func micro(nodes, threads int, main func(cvm.Worker)) error {
+	return microAlloc(nodes, threads, 8192, func(w cvm.Worker, _ cvm.Addr) { main(w) })
 }
 
-func microAlloc(nodes, threads, bytes int, main func(*cvm.Worker, cvm.Addr)) error {
+func microAlloc(nodes, threads, bytes int, main func(cvm.Worker, cvm.Addr)) error {
 	cluster, err := cvm.New(cvm.DefaultConfig(nodes, threads))
 	if err != nil {
 		return err
 	}
 	addr := cluster.MustAlloc("micro", bytes)
-	_, err = cluster.Run(func(w *cvm.Worker) { main(w, addr) })
+	_, err = cluster.Run(func(w cvm.Worker) { main(w, addr) })
 	return err
 }
 

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+
+	"cvm"
+	"cvm/internal/apps"
+	"cvm/internal/rt"
+)
+
+// The transport-equivalence guard is the real-transport backend's
+// conformance oracle: the same application at the same shape must
+// produce the same checksum on the deterministic simulator (netsim,
+// virtual time) and on the real runtime (internal/rt over the loopback
+// transport, wall time). The applications quantize every shared-sum
+// contribution onto an exact binary grid (apps.qfix), which makes their
+// accumulations associative in float64 — so any CORRECT release-
+// consistent execution yields a bit-identical checksum regardless of
+// message timing, and a checksum difference is a coherence bug, not
+// floating-point noise.
+//
+// Only the checksum is compared. Virtual-time statistics (wall time,
+// wait breakdowns, message counts) are exempt by design: the simulator
+// charges the paper's calibrated costs in deterministic virtual time,
+// while the real runtime pays actual wall time under a different (home-
+// based, eager) protocol — their timings and message counts measure
+// different machines and are not comparable. The checksum is the one
+// observable both engines must agree on. See DESIGN.md §11.
+
+// TransportProbe captures one backend's run of an application.
+type TransportProbe struct {
+	Backend  string // "sim" or "loopback"
+	Checksum float64
+}
+
+// GuardTransportEquivalence runs app at the given shape on both the
+// simulator and the rt-loopback backend and returns an error unless the
+// checksums match exactly (both runs must also verify against the
+// app's sequential reference). A nil error is the conformance verdict.
+func GuardTransportEquivalence(app string, size apps.Size, nodes, threads int) error {
+	a, err := apps.New(app, size)
+	if err != nil {
+		return err
+	}
+	if !a.SupportsThreads(threads) {
+		return fmt.Errorf("harness: %s does not support %d threads per node", app, threads)
+	}
+
+	_, simSum, err := apps.RunConfigFull(app, size, cvm.DefaultConfig(nodes, threads), 0)
+	if err != nil {
+		return fmt.Errorf("harness: sim backend: %w", err)
+	}
+
+	rtSum, err := runLoopbackProbe(app, size, nodes, threads)
+	if err != nil {
+		return err
+	}
+	if rtSum != simSum {
+		return fmt.Errorf("harness: transport equivalence violation in %s %dx%d: loopback checksum %v, sim %v",
+			app, nodes, threads, rtSum, simSum)
+	}
+	return nil
+}
+
+// runLoopbackProbe executes one application on the real runtime over
+// the in-process loopback transport and returns its checksum, after
+// validating it against the sequential reference.
+func runLoopbackProbe(app string, size apps.Size, nodes, threads int) (float64, error) {
+	a, err := apps.New(app, size)
+	if err != nil {
+		return 0, err
+	}
+	cl, err := rt.NewCluster(rt.DefaultConfig(nodes, threads))
+	if err != nil {
+		return 0, err
+	}
+	if err := a.Setup(cl); err != nil {
+		return 0, fmt.Errorf("harness: loopback backend: %w", err)
+	}
+	if _, err := cl.RunLoopback(a.Main); err != nil {
+		return 0, fmt.Errorf("harness: loopback backend: %w", err)
+	}
+	if err := a.Check(); err != nil {
+		return 0, fmt.Errorf("harness: loopback backend: %w", err)
+	}
+	return a.Checksum(), nil
+}

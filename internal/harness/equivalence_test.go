@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"cvm/internal/apps"
+)
+
+// TestGuardTransportEquivalence runs the conformance guard over the
+// whole suite at test scale: the rt-loopback backend must reproduce the
+// simulator's checksum bit for bit for every application.
+func TestGuardTransportEquivalence(t *testing.T) {
+	const nodes, threads = 4, 2
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			app, err := apps.New(name, apps.SizeTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !app.SupportsThreads(threads) {
+				t.Skipf("%s does not support %d threads per node", name, threads)
+			}
+			if err := GuardTransportEquivalence(name, apps.SizeTest, nodes, threads); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGuardTransportEquivalenceRejectsBadShape(t *testing.T) {
+	err := GuardTransportEquivalence("ocean", apps.SizeTest, 4, 3)
+	if err == nil || !strings.Contains(err.Error(), "does not support") {
+		t.Fatalf("err = %v, want unsupported-threads rejection", err)
+	}
+	if err := GuardTransportEquivalence("nosuch", apps.SizeTest, 4, 1); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

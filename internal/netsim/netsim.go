@@ -16,37 +16,26 @@ import (
 	"cvm/internal/metrics"
 	"cvm/internal/sim"
 	"cvm/internal/trace"
+	"cvm/internal/transport"
 )
 
-// NodeID identifies a node (processor) in the simulated cluster.
-type NodeID int
+// NodeID identifies a node (processor) in the simulated cluster. It is
+// the shared transport vocabulary type: every backend (this simulator,
+// loopback, TCP) addresses nodes the same way.
+type NodeID = transport.NodeID
 
 // Class categorizes messages for Table 2 accounting.
-type Class uint8
+type Class = transport.Class
 
 // Message classes. Data-carrying traffic (page and diff requests and
 // replies) is classed ClassDiff, following the paper: "Diff messages are
 // used to satisfy remote data requests."
 const (
-	ClassBarrier Class = iota
-	ClassLock
-	ClassDiff
-	numClasses
+	ClassBarrier = transport.ClassBarrier
+	ClassLock    = transport.ClassLock
+	ClassDiff    = transport.ClassDiff
+	numClasses   = transport.NumClasses
 )
-
-// String returns the Table 2 column name for the class.
-func (c Class) String() string {
-	switch c {
-	case ClassBarrier:
-		return "Barrier"
-	case ClassLock:
-		return "Lock"
-	case ClassDiff:
-		return "Diff"
-	default:
-		return fmt.Sprintf("Class(%d)", uint8(c))
-	}
-}
 
 // Params are the interconnect cost parameters.
 type Params struct {
@@ -107,39 +96,12 @@ func (p Params) Lookahead() sim.Time {
 }
 
 // Stats holds cumulative per-class message and byte counts.
-type Stats struct {
-	Msgs  [numClasses]int64
-	Bytes [numClasses]int64
-}
-
-// TotalMsgs reports the total message count across classes.
-func (s Stats) TotalMsgs() int64 {
-	var n int64
-	for _, m := range s.Msgs {
-		n += m
-	}
-	return n
-}
-
-// TotalBytes reports the total payload bytes across classes.
-func (s Stats) TotalBytes() int64 {
-	var n int64
-	for _, b := range s.Bytes {
-		n += b
-	}
-	return n
-}
+type Stats = transport.Stats
 
 // Classes returns every message class in Table 2 column order. Tests
 // use it to guard that new classes are reflected in the accounting
 // arrays and the Table 2 writer.
-func Classes() []Class {
-	cs := make([]Class, numClasses)
-	for i := range cs {
-		cs[i] = Class(i)
-	}
-	return cs
-}
+func Classes() []Class { return transport.Classes() }
 
 // Network simulates the interconnect between a fixed set of nodes.
 type Network struct {
@@ -207,6 +169,14 @@ func (n *Network) Init(eng *sim.Engine, nodes int, params Params) {
 
 // Params returns the network's cost parameters.
 func (n *Network) Params() Params { return n.params }
+
+// Name identifies this interconnect backend in error messages and run
+// reports (core.Interconnect).
+func (n *Network) Name() string { return "netsim" }
+
+// PeerAddr describes a peer in backend terms (core.Interconnect). The
+// simulated cluster has no wire addresses, so peers are named by node id.
+func (n *Network) PeerAddr(to NodeID) string { return fmt.Sprintf("node %d", to) }
 
 // SetDeferred switches the network into deferred (windowed) delivery
 // mode. Must be set before traffic flows and requires the engine to run

@@ -1,0 +1,127 @@
+package rt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cvm/internal/core"
+	"cvm/internal/transport"
+)
+
+// DSM message types carried in transport.Message.Type. Requests carry a
+// request id the reply echoes, so replies route back to the blocked
+// worker without the dispatcher knowing who asked.
+const (
+	msgPageReq   uint8 = iota + 1 // reqID, pg          -> home
+	msgPageRep                    // reqID, pg, data    <- home
+	msgDiffReq                    // reqID, pg, runs    -> home
+	msgDiffAck                    // reqID              <- home
+	msgLockReq                    // reqID, lock        -> manager
+	msgLockGrant                  // reqID              <- manager
+	msgLockRel                    // lock               -> manager
+	msgBarArrive                  // barrier            -> manager (node 0)
+	msgBarRelease                 // barrier            <- manager
+	msgRedArrive                  // reduce, op, value  -> manager (node 0)
+	msgRedRelease                 // reduce, value      <- manager
+)
+
+// classOf maps a message type to its Table 2 accounting class. Page and
+// diff traffic is ClassDiff, matching the simulator's classification of
+// data-carrying messages.
+func classOf(typ uint8) transport.Class {
+	switch typ {
+	case msgLockReq, msgLockGrant, msgLockRel:
+		return transport.ClassLock
+	case msgBarArrive, msgBarRelease, msgRedArrive, msgRedRelease:
+		return transport.ClassBarrier
+	default:
+		return transport.ClassDiff
+	}
+}
+
+// Payload encoding is little-endian fixed-width fields, mirroring the
+// page data encoding the Worker accessors use.
+
+func putU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func putU64(b []byte, v uint64) []byte {
+	b = putU32(b, uint32(v))
+	return putU32(b, uint32(v>>32))
+}
+
+func u32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+func u64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// encodeReq builds a (reqID, arg) payload shared by page requests
+// (arg = page) and lock requests (arg = lock id).
+func encodeReq(reqID, arg uint32) []byte {
+	return putU32(putU32(make([]byte, 0, 8), reqID), arg)
+}
+
+// encodePageRep builds a page reply: reqID, page id, page contents.
+func encodePageRep(reqID uint32, pg core.PageID, data []byte) []byte {
+	b := make([]byte, 0, 8+len(data))
+	b = putU32(b, reqID)
+	b = putU32(b, uint32(pg))
+	return append(b, data...)
+}
+
+// encodeDiff builds a diff flush: reqID, page id, run count, then each
+// run as (offset, length, bytes). Runs come from core.MakeDiff.
+func encodeDiff(reqID uint32, pg core.PageID, runs []core.Run) []byte {
+	n := 12
+	for _, r := range runs {
+		n += 8 + len(r.Data)
+	}
+	b := make([]byte, 0, n)
+	b = putU32(b, reqID)
+	b = putU32(b, uint32(pg))
+	b = putU32(b, uint32(len(runs)))
+	for _, r := range runs {
+		b = putU32(b, uint32(r.Off))
+		b = putU32(b, uint32(len(r.Data)))
+		b = append(b, r.Data...)
+	}
+	return b
+}
+
+// decodeDiff parses an encodeDiff payload back into page id and runs.
+func decodeDiff(b []byte) (reqID uint32, pg core.PageID, runs []core.Run, err error) {
+	if len(b) < 12 {
+		return 0, 0, nil, fmt.Errorf("rt: diff payload %d bytes", len(b))
+	}
+	reqID = u32(b)
+	pg = core.PageID(u32(b[4:]))
+	cnt := int(u32(b[8:]))
+	b = b[12:]
+	runs = make([]core.Run, 0, cnt)
+	for k := 0; k < cnt; k++ {
+		if len(b) < 8 {
+			return 0, 0, nil, fmt.Errorf("rt: truncated diff run header")
+		}
+		off, ln := u32(b), int(u32(b[4:]))
+		b = b[8:]
+		if len(b) < ln {
+			return 0, 0, nil, fmt.Errorf("rt: truncated diff run data")
+		}
+		runs = append(runs, core.Run{Off: int32(off), Data: b[:ln:ln]})
+		b = b[ln:]
+	}
+	return reqID, pg, runs, nil
+}
+
+// encodeRedArrive builds a reduction arrival: reduce id, op, node value.
+func encodeRedArrive(id uint32, op core.ReduceOp, v float64) []byte {
+	b := make([]byte, 0, 13)
+	b = putU32(b, id)
+	b = append(b, byte(op))
+	return putU64(b, math.Float64bits(v))
+}
+
+// encodeRedRelease builds a reduction release: reduce id, result.
+func encodeRedRelease(id uint32, v float64) []byte {
+	return putU64(putU32(make([]byte, 0, 12), id), math.Float64bits(v))
+}

@@ -19,7 +19,7 @@ const microPage = 8 << 10
 // microWorkload is a tiny deterministic exercise of every traced
 // protocol path: local and remote faults, twins and diffs, a contended
 // global lock, local and global barriers, and thread switches.
-func microWorkload(w *cvm.Worker, base cvm.Addr) {
+func microWorkload(w cvm.Worker, base cvm.Addr) {
 	w.Barrier(0)
 	if w.LocalID() == 0 {
 		// One writer per node: twin + diff on the node's own page.
@@ -51,7 +51,7 @@ func microTrace(t *testing.T) *trace.Recorder {
 		t.Fatal(err)
 	}
 	base := cluster.MustAlloc("micro", 3*microPage)
-	if _, err := cluster.Run(func(w *cvm.Worker) { microWorkload(w, base) }); err != nil {
+	if _, err := cluster.Run(func(w cvm.Worker) { microWorkload(w, base) }); err != nil {
 		t.Fatal(err)
 	}
 	return rec
@@ -131,7 +131,7 @@ func TestCalibrationTwoHopLock(t *testing.T) {
 		t.Fatal(err)
 	}
 	cluster.MustAlloc("pad", microPage)
-	_, err = cluster.Run(func(w *cvm.Worker) {
+	_, err = cluster.Run(func(w cvm.Worker) {
 		for i := 0; i < 9; i++ {
 			if i%2 == w.NodeID() {
 				w.Lock(0)
@@ -167,7 +167,7 @@ func TestCalibrationThreeHopLock(t *testing.T) {
 		t.Fatal(err)
 	}
 	cluster.MustAlloc("pad", microPage)
-	_, err = cluster.Run(func(w *cvm.Worker) {
+	_, err = cluster.Run(func(w cvm.Worker) {
 		for i := 0; i < 9; i++ {
 			if w.NodeID() == 1+i%2 {
 				w.Lock(0)
@@ -202,7 +202,7 @@ func TestCalibrationRemoteFault(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := cluster.MustAlloc("page", microPage)
-	_, err = cluster.Run(func(w *cvm.Worker) {
+	_, err = cluster.Run(func(w cvm.Worker) {
 		for i := 0; i < 8; i++ {
 			if w.NodeID() == 0 {
 				w.WriteF64(base, float64(i))

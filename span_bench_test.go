@@ -34,7 +34,7 @@ func BenchmarkSpanRead(b *testing.B) {
 	b.Run("scalar", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchCluster(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				sum := 0.0
 				for r := 0; r < spanBenchRows; r++ {
 					for j := 0; j < spanBenchCols; j++ {
@@ -50,7 +50,7 @@ func BenchmarkSpanRead(b *testing.B) {
 	b.Run("span", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchCluster(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				row := make([]float64, spanBenchCols)
 				sum := 0.0
 				for r := 0; r < spanBenchRows; r++ {
@@ -73,7 +73,7 @@ func BenchmarkSpanWrite(b *testing.B) {
 	b.Run("scalar", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchCluster(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				for r := 0; r < spanBenchRows; r++ {
 					for j := 0; j < spanBenchCols; j++ {
 						m.Set(w, r, j, float64(r+j))
@@ -87,7 +87,7 @@ func BenchmarkSpanWrite(b *testing.B) {
 	b.Run("span", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchCluster(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				row := make([]float64, spanBenchCols)
 				for r := 0; r < spanBenchRows; r++ {
 					for j := range row {
@@ -108,7 +108,7 @@ func BenchmarkSpanSweep(b *testing.B) {
 	b.Run("scalar", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchCluster(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				for r := 0; r < spanBenchRows; r++ {
 					for j := 0; j < spanBenchCols; j++ {
 						m.Set(w, r, j, m.Get(w, r, j)+1)
@@ -122,7 +122,7 @@ func BenchmarkSpanSweep(b *testing.B) {
 	b.Run("span", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchCluster(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				row := make([]float64, spanBenchCols)
 				for r := 0; r < spanBenchRows; r++ {
 					m.Row(w, r, row)
@@ -144,7 +144,7 @@ func BenchmarkSpanFill(b *testing.B) {
 	b.Run("scalar", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchCluster(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				for r := 0; r < spanBenchRows; r++ {
 					for j := 0; j < spanBenchCols; j++ {
 						m.Set(w, r, j, 1)
@@ -158,7 +158,7 @@ func BenchmarkSpanFill(b *testing.B) {
 	b.Run("span", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchCluster(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				for r := 0; r < spanBenchRows; r++ {
 					w.FillF64(m.At(r, 0), spanBenchCols, 1)
 				}
@@ -176,7 +176,7 @@ func BenchmarkSpanSORRow(b *testing.B) {
 	b.Run("scalar", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchCluster(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				for r := 1; r < spanBenchRows-1; r++ {
 					for j := 1 + r%2; j < spanBenchCols-1; j += 2 {
 						v := 0.25 * (m.Get(w, r-1, j) + m.Get(w, r+1, j) +
@@ -192,7 +192,7 @@ func BenchmarkSpanSORRow(b *testing.B) {
 	b.Run("span", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cluster, m := spanBenchCluster(b)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				top := make([]float64, spanBenchCols)
 				cur := make([]float64, spanBenchCols)
 				bot := make([]float64, spanBenchCols)
@@ -228,7 +228,7 @@ func BenchmarkSpanPooling(b *testing.B) {
 				b.Fatal(err)
 			}
 			m := cluster.MustAllocF64Matrix("bench.m", spanBenchRows, spanBenchCols, false)
-			if _, err := cluster.Run(func(w *cvm.Worker) {
+			if _, err := cluster.Run(func(w cvm.Worker) {
 				row := make([]float64, spanBenchCols)
 				for r := 0; r < spanBenchRows; r++ {
 					m.Row(w, r, row)
