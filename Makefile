@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race golden-trace bench-smoke chaos par-check cluster-smoke metrics-gate metrics-baseline perf-baseline
+.PHONY: check vet build test race golden-trace bench-smoke chaos par-check cluster-smoke scale-smoke metrics-gate metrics-baseline perf-baseline scale-baseline
 
 ## check: the pre-commit gate (mirrors .github/workflows/ci.yml) — vet,
 ## build, race-test everything, verify the golden trace, a one-iteration
 ## pass over every benchmark so the perf kernels stay honest, the chaos
 ## suite under fault injection, the windowed-engine determinism guard,
-## the multi-process cluster smoke against the simulator oracle, and the
-## metrics regression gate against the committed baseline.
-check: vet build race golden-trace bench-smoke chaos par-check cluster-smoke metrics-gate
+## the multi-process cluster smoke against the simulator oracle, the
+## 256-node scale smoke, and the metrics regression gate against the
+## committed baseline.
+check: vet build race golden-trace bench-smoke chaos par-check cluster-smoke scale-smoke metrics-gate
 	@echo "check: OK"
 
 vet:
@@ -56,6 +57,18 @@ par-check:
 ## simulator. Proves the real-transport backend end to end.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+## scale-smoke: one 256-node scaleout run — checksum-identical to the
+## sequential engine, byte-identical across windowed worker counts —
+## proving the sparse page directory and spilled copysets far past the
+## paper grid's cluster sizes.
+scale-smoke:
+	$(GO) test ./internal/harness -run 'TestScaleSmoke|TestRunScaleStudy' -count=1
+
+## scale-baseline: regenerate the committed BENCH_scaleout.json scaling
+## study (8 to 1024 nodes at paper size; takes several minutes).
+scale-baseline:
+	$(GO) run ./cmd/cvm-bench -experiment scaleout -size paper -scale-json BENCH_scaleout.json
 
 ## metrics-gate: re-run the baseline workload and compare its metrics
 ## report against the committed BASELINE_metrics.json. The simulator is

@@ -44,12 +44,19 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cvm-bench", flag.ContinueOnError)
 	var (
 		experiment = fs.String("experiment", "all",
-			"experiment to regenerate: costs, fig1, table2, table3, fig2, table4, table5, ablation, protocols, perf, all")
+			"experiment to regenerate: costs, fig1, table2, table3, fig2, table4, table5, ablation, protocols, perf, scaleout, all")
 		size     = fs.String("size", "small", "input scale: test, small, paper")
 		quiet    = fs.Bool("q", false, "suppress progress output")
 		nodes16  = fs.Bool("with16", true, "include 16-node runs in table4")
 		parallel = fs.Int("parallel", 0, "worker goroutines for independent runs (0 = all CPUs, 1 = sequential)")
 		jsonPath = fs.String("json", "BENCH_harness.json", "output path for the perf experiment's JSON baseline")
+
+		scaleNodes = fs.String("scale-nodes", "8,64,256,1024",
+			"comma-separated node counts for the scaleout experiment")
+		scaleJSON = fs.String("scale-json", "BENCH_scaleout.json",
+			"output path for the scaleout experiment's JSON baseline")
+		scaleWorkers = fs.Int("scale-workers", 4,
+			"conservative-engine workers for the scaleout experiment (0 = sequential engine)")
 
 		metricsOut  = fs.String("metrics", "", "write the aggregated metrics JSON report of the fig1/table2/table3/fig2 grid to this file")
 		showReport  = fs.Bool("report", false, "print the aggregated metrics profile of the fig1/table2/table3/fig2 grid")
@@ -190,6 +197,34 @@ func run(args []string, out io.Writer) error {
 		return runPerf(out, sz, *parallel, *jsonPath, progress)
 	}
 
+	// The scaleout study is deliberately not part of "all": its 1024-node
+	// points dominate the runtime of everything else combined.
+	if *experiment == "scaleout" {
+		nodeCounts, err := parseNodeList(*scaleNodes)
+		if err != nil {
+			return err
+		}
+		study, err := harness.RunScaleStudy(nodeCounts, 1, sz,
+			[]bool{false, true}, *scaleWorkers, progress)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*scaleJSON)
+		if err != nil {
+			return err
+		}
+		if err := harness.WriteScaleBaseline(f, study); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		harness.WriteScaleStudy(out, study)
+		fmt.Fprintf(out, "scaleout: baseline written to %s\n", *scaleJSON)
+		return nil
+	}
+
 	if want("table5") {
 		rows, err := harness.Table5(sz, 8, harness.ThreadLevels, progress, *parallel)
 		if err != nil {
@@ -200,6 +235,26 @@ func run(args []string, out io.Writer) error {
 	}
 
 	return nil
+}
+
+// parseNodeList parses a comma-separated list of node counts.
+func parseNodeList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -scale-nodes entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-scale-nodes is empty")
+	}
+	return out, nil
 }
 
 // emitGridMetrics writes the aggregated grid profile as requested.

@@ -119,7 +119,26 @@ func runPerf(out io.Writer, size apps.Size, workers int, jsonPath string, progre
 		micro("SpanSORRow/span", benchSpanSORRow(true)),
 		micro("Engine/EventHeap", benchEngineEventHeap()),
 		micro("Engine/SpawnWake", benchEngineSpawnWake()),
+		micro("DiffEncode/sparse", benchDiffEncode("sparse")),
+		micro("DiffEncode/dense", benchDiffEncode("dense")),
+		micro("DiffDecode/sparse", benchDiffDecode("sparse")),
 	)
+
+	// Encoded-vs-raw wire sizes on the fixed patterns; cvm-metrics
+	// compare enforces absolute ratio caps on these.
+	for _, pattern := range core.WirePatterns() {
+		twin, cur := core.WirePatternPages(pattern, perfPageSize)
+		runs := core.MakeDiff(0, twin, cur)
+		raw := 0
+		for _, r := range runs {
+			raw += 8 + len(r.Data)
+		}
+		enc := core.EncodedRunsSize(runs)
+		b.DiffWire = append(b.DiffWire, harness.DiffWireResult{
+			Pattern: pattern, RawBytes: raw, EncodedBytes: enc,
+			Ratio: float64(enc) / float64(raw),
+		})
+	}
 
 	f, err := os.Create(jsonPath)
 	if err != nil {
@@ -143,6 +162,10 @@ func runPerf(out io.Writer, size apps.Size, workers int, jsonPath string, progre
 		b.Engine.Speedup, b.Engine.Cores, b.Engine.Identical)
 	for _, m := range b.Micro {
 		fmt.Fprintf(out, "perf: %-18s %10.1f ns/op  %d allocs/op\n", m.Name, m.NsOp, m.AllocsOp)
+	}
+	for _, dw := range b.DiffWire {
+		fmt.Fprintf(out, "perf: diff-wire %-8s raw %5d encoded %5d ratio %.3f\n",
+			dw.Pattern, dw.RawBytes, dw.EncodedBytes, dw.Ratio)
 	}
 	fmt.Fprintf(out, "perf: baseline written to %s\n", jsonPath)
 	return nil
@@ -212,6 +235,31 @@ func benchDiffApply() testing.BenchmarkResult {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			d.Apply(dst, tw)
+		}
+	})
+}
+
+func benchDiffEncode(pattern string) testing.BenchmarkResult {
+	twin, cur := core.WirePatternPages(pattern, perfPageSize)
+	runs := core.MakeDiff(0, twin, cur)
+	var dst []byte
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = core.EncodeRuns(dst[:0], runs)
+		}
+	})
+}
+
+func benchDiffDecode(pattern string) testing.BenchmarkResult {
+	twin, cur := core.WirePatternPages(pattern, perfPageSize)
+	enc := core.EncodeRuns(nil, core.MakeDiff(0, twin, cur))
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.DecodeRuns(enc); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

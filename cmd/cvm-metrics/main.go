@@ -149,6 +149,20 @@ func isPerfBaseline(data []byte) bool {
 var allocCaps = map[string]int64{
 	"ReadRange/span":  24,
 	"WriteRange/span": 38,
+	// Diff wire codec: the encoder amortizes to a handful of buffer
+	// growths; the decoder allocates one Run slice plus payloads.
+	"DiffEncode/sparse": 4,
+	"DiffEncode/dense":  4,
+	"DiffDecode/sparse": 32,
+}
+
+// wireRatioCaps are absolute encoded/raw ceilings per diff wire pattern,
+// enforced on the current baseline regardless of the committed one: the
+// compression win is an acceptance property, not a relative drift.
+var wireRatioCaps = map[string]float64{
+	"sparse":  0.60,
+	"dense":   1.02,
+	"strided": 0.90,
 }
 
 // comparePerf diffs two harness perf baselines. Host wall-clock numbers
@@ -222,6 +236,30 @@ func comparePerf(base, cur []byte, tol float64) ([]metrics.Finding, error) {
 			findings = append(findings, metrics.Finding{
 				Level: metrics.LevelFail, Path: "micro/" + m.Name,
 				Msg: "benchmark missing from current baseline",
+			})
+		}
+	}
+	for _, dw := range c.DiffWire {
+		if cap, ok := wireRatioCaps[dw.Pattern]; ok && dw.Ratio > cap {
+			findings = append(findings, metrics.Finding{
+				Level: metrics.LevelFail, Path: "diff_wire/" + dw.Pattern + "/ratio",
+				Msg: fmt.Sprintf("encoded/raw ratio %.3f exceeds hard cap %.2f (%d/%d bytes)",
+					dw.Ratio, cap, dw.EncodedBytes, dw.RawBytes),
+			})
+		}
+	}
+	for _, dw := range b.DiffWire {
+		found := false
+		for _, cw := range c.DiffWire {
+			if cw.Pattern == dw.Pattern {
+				found = true
+				break
+			}
+		}
+		if !found {
+			findings = append(findings, metrics.Finding{
+				Level: metrics.LevelFail, Path: "diff_wire/" + dw.Pattern,
+				Msg: "wire pattern missing from current baseline",
 			})
 		}
 	}

@@ -158,6 +158,58 @@ func TestComparePerfBaselineGate(t *testing.T) {
 	}
 }
 
+// writeWireBaseline writes a perf baseline whose DiffWire section has a
+// single sparse-pattern entry at the given ratio.
+func writeWireBaseline(t *testing.T, dir, name string, ratio float64) string {
+	t.Helper()
+	b := harness.PerfBaseline{
+		Grid:  harness.PerfGrid{Cells: 1, Identical: true},
+		Micro: []harness.MicroResult{{Name: "MakeDiff/sparse", NsOp: 1000, AllocsOp: 2}},
+		DiffWire: []harness.DiffWireResult{{
+			Pattern: "sparse", RawBytes: 1000,
+			EncodedBytes: int(ratio * 1000), Ratio: ratio,
+		}},
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWireRatioGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeWireBaseline(t, dir, "base.json", 0.50)
+	good := writeWireBaseline(t, dir, "good.json", 0.55)
+	bad := writeWireBaseline(t, dir, "bad.json", 0.75)
+
+	var out bytes.Buffer
+	if err := run([]string{"compare", base, good}, &out); err != nil {
+		t.Fatalf("ratio under the cap must pass: %v (%s)", err, out.String())
+	}
+
+	// The sparse cap is absolute: 0.75 fails even though the baseline
+	// would allow drift.
+	out.Reset()
+	if err := run([]string{"compare", bad, bad}, &out); err == nil {
+		t.Fatalf("sparse ratio 0.75 must fail the hard cap; output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "diff_wire/sparse/ratio") {
+		t.Errorf("failure output does not name the ratio cap: %q", out.String())
+	}
+
+	// Dropping a wire pattern the baseline had is a failure.
+	plain := writeBaseline(t, dir, "plain.json", true, 1000, 2)
+	out.Reset()
+	if err := run([]string{"compare", base, plain}, &out); err == nil {
+		t.Fatalf("missing wire pattern must fail; output: %s", out.String())
+	}
+}
+
 func TestShowRendersReport(t *testing.T) {
 	dir := t.TempDir()
 	path := writeReport(t, dir, "rep.json", 5, 900_000)

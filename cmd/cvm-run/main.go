@@ -80,6 +80,7 @@ func run(args []string, out io.Writer) error {
 		metricsTopN = fs.Int("metrics-top", 10, "rows kept in the hot-page and hot-lock tables")
 
 		engineWorkers = fs.Int("engine-workers", 0, "conservative parallel engine worker count (0 = sequential engine)")
+		compressDiffs = fs.Bool("compress-diffs", false, "account diff messages at their compressed wire size (simulator only; the real transport always compresses)")
 
 		faults    = fs.String("faults", "", "deterministic fault spec, e.g. 'drop=0.01,dup=0.001,reorder=0.005,jitter=100us,pause=1:5ms:2ms'")
 		faultSeed = fs.Uint64("fault-seed", 1, "fault-schedule seed (same spec + seed = same schedule, byte for byte)")
@@ -144,6 +145,9 @@ func run(args []string, out io.Writer) error {
 		if *engineWorkers > 0 {
 			return fmt.Errorf("-engine-workers tunes the simulator's DES engine; drop it with -transport loopback")
 		}
+		if *compressDiffs {
+			return fmt.Errorf("-compress-diffs tunes the simulator's byte accounting; the real transport always compresses, drop it with -transport loopback")
+		}
 		if len(levels) != 1 {
 			return fmt.Errorf("-transport loopback needs a single -threads level, got %q", *threads)
 		}
@@ -164,6 +168,7 @@ func run(args []string, out io.Writer) error {
 			report: *showReport, wantMetrics: wantMetrics,
 			interval: cvm.Time((*metricsBin).Nanoseconds()), topN: *metricsTopN,
 			faults: fp, check: *checkRun, engineWorkers: *engineWorkers,
+			compressDiffs: *compressDiffs,
 		})
 	}
 
@@ -174,11 +179,12 @@ func run(args []string, out io.Writer) error {
 	// state, so the sweep stays deterministic at any -parallel level.
 	shapes := harness.GridShapes([]int{*nodes}, levels)
 	var mut func(harness.Key, *cvm.Config)
-	if fp != nil || *engineWorkers > 0 {
-		ew := *engineWorkers
+	if fp != nil || *engineWorkers > 0 || *compressDiffs {
+		ew, comp := *engineWorkers, *compressDiffs
 		mut = func(_ harness.Key, cfg *cvm.Config) {
 			cfg.Faults = fp
 			cfg.EngineWorkers = ew
+			cfg.CompressDiffs = comp
 		}
 	}
 	res, err := harness.RunGridConfig([]string{*appName}, sz, shapes, mut, nil, *parallel)
@@ -228,6 +234,7 @@ type instrumentOpts struct {
 	faults        *cvm.FaultPlan
 	check         bool
 	engineWorkers int
+	compressDiffs bool
 }
 
 // runInstrumented executes one simulation with tracing and/or metrics
@@ -238,6 +245,7 @@ func runInstrumented(out io.Writer, o instrumentOpts) error {
 	cfg := cvm.DefaultConfig(o.nodes, o.threads)
 	cfg.Faults = o.faults
 	cfg.EngineWorkers = o.engineWorkers
+	cfg.CompressDiffs = o.compressDiffs
 	var rec *trace.Recorder
 	if o.traceOut != "" {
 		rec = trace.NewRecorder(o.nodes, o.threads, o.traceLimit)

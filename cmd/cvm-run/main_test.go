@@ -44,6 +44,7 @@ func TestFlagValidation(t *testing.T) {
 		{"loopback with check", []string{"-transport", "loopback", "-check"}, "no virtual-time instrumentation"},
 		{"loopback with faults", []string{"-transport", "loopback", "-faults", "drop=0.01"}, "cannot inject simulated faults"},
 		{"loopback with engine workers", []string{"-transport", "loopback", "-engine-workers", "2"}, "-engine-workers tunes the simulator"},
+		{"loopback with compress-diffs", []string{"-transport", "loopback", "-compress-diffs"}, "-compress-diffs tunes the simulator"},
 		{"loopback with sweep", []string{"-transport", "loopback", "-threads", "1,2"}, "single -threads level"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

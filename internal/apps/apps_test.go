@@ -6,7 +6,7 @@ import (
 )
 
 func TestRegistryNames(t *testing.T) {
-	want := []string{"barnes", "fft", "ocean", "sor", "swm750",
+	want := []string{"barnes", "fft", "ocean", "scaleout", "sor", "swm750",
 		"waternsq", "waternsq-localbarrier", "waternsq-noopts", "watersp"}
 	got := Names()
 	if fmt.Sprint(got) != fmt.Sprint(want) {

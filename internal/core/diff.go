@@ -12,6 +12,10 @@ type Diff struct {
 	Idx  int32  // newest interval the diff belongs to
 	VT   VClock // creator's vector time when the interval closed
 	Runs []Run
+
+	// encSize caches the compressed wire size (see WireBytes); 0 means
+	// not yet computed. Only the creator node touches it.
+	encSize int32
 }
 
 // Run is a contiguous modified byte range within a page.

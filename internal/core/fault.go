@@ -172,8 +172,8 @@ func (t *Thread) applyFault(fs *faultState) {
 	base := t.pageVA(p.id)
 	for _, d := range fs.diffs {
 		d.Apply(p.data, p.twin)
-		if d.Idx > p.applied[d.Node] {
-			p.applied[d.Node] = d.Idx
+		if w := p.writer(d.Node); d.Idx > w.applied {
+			w.applied = d.Idx
 		}
 		n.stats.DiffsUsed++
 		for _, run := range d.Runs {
@@ -187,8 +187,8 @@ func (t *Thread) applyFault(fs *faultState) {
 	}
 	// Empty replies still certify the requested ranges.
 	for _, r := range fs.ranges {
-		if p.applied[r.node] < r.to {
-			p.applied[r.node] = r.to
+		if w := p.writer(r.node); w.applied < r.to {
+			w.applied = r.to
 		}
 	}
 	t.task.Advance(t.sys.cfg.MprotectCost)

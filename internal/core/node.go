@@ -17,30 +17,30 @@ type node struct {
 	proc *sim.Proc
 	mem  memsim.System
 
-	// Consistency state. The page table is one contiguous backing array
-	// built at Start (with a shared applied/wanted arena), so the access
-	// fast path never allocates per page. The sync-object maps are
-	// created lazily on first use — a run that never touches a lock pays
-	// nothing for the lock table.
+	// Consistency state. The page table is a lazily-materialized sharded
+	// directory (see pagetable.go), so per-node memory tracks the working
+	// set, not the address space. The sync-object maps are created lazily
+	// on first use — a run that never touches a lock pays nothing for the
+	// lock table.
 	vt             VClock
 	curIdx         int32                // index of this node's next interval
-	pages          []page               // one per PageID, built at Start
-	pageVec        []int32              // applied/wanted backing, 2×Nodes per page
+	shards         []*pageShard         // sparse page directory root, sized at Start
+	totalPages     int                  // address-space size in pages
+	shardCount     int                  // shards materialized so far
+	pool           bufPool              // page/twin buffer slabs (see pagetable.go)
 	dirty          []PageID             // pages written in the open interval
 	intervals      [][]*IntervalInfo    // known intervals, per node, idx-ascending
 	locks          map[int]*lockState   // lazily created
 	barriers       map[int]*nodeBarrier // lazily created
 	reduces        map[int]*nodeReduce  // lazily created
 	swdir          map[PageID]*swDir    // single-writer directory (manager side), lazily created
+	csp            csPool               // recycled spilled copyset bitsets
+	csScratch      []int32              // copyset fan-out scratch (swServe)
 	barrierSentIdx int32                // own intervals already shipped to the barrier manager
 
 	// In-flight remote request counts for outstanding-request sampling.
 	inFlightFaults int
 	inFlightLocks  int
-
-	// arena backs every page's data and twin slots (see initPages); nil
-	// when Config.NoPagePooling is set.
-	arena []byte
 
 	threads []Thread
 	stats   NodeStats
@@ -123,79 +123,6 @@ func (n *node) OnSlice(task *sim.Task, start, end sim.Time) {
 	}
 }
 
-// initPages builds the node's page table: one contiguous slice of page
-// structs plus a single arena for every page's applied/wanted vectors
-// and the node's vector clock, so the table costs two allocations total
-// regardless of page count. Under the lazy-multi-writer protocol every
-// node starts with a valid zero page (write notices invalidate later);
-// under single-writer only the page's manager starts with a copy.
-func (n *node) initPages(total int) {
-	nodes := n.sys.cfg.Nodes
-	n.pages = make([]page, total)
-	n.pageVec = make([]int32, 2*total*nodes+nodes)
-	n.vt = VClock(n.pageVec[2*total*nodes:])
-	n.pageVec = n.pageVec[: 2*total*nodes : 2*total*nodes]
-	for i := range n.pages {
-		p := &n.pages[i]
-		p.id = PageID(i)
-		p.state = PageReadOnly
-		if n.sys.cfg.Protocol == ProtocolSW && i%nodes != n.id {
-			p.state = PageInvalid
-		}
-		p.applied = n.pageVec[2*i*nodes : (2*i+1)*nodes : (2*i+1)*nodes]
-		p.wanted = n.pageVec[(2*i+1)*nodes : (2*i+2)*nodes : (2*i+2)*nodes]
-	}
-}
-
-// ensureArena allocates the page-backing arena on the node's first
-// materialize or twin: two fixed slots per page, so page copies and
-// twins never allocate individually. A node that only ever reads
-// untouched zero pages skips even this one allocation. Slot reuse
-// across twin episodes is safe because a twin is always created by a
-// full-page copy.
-func (n *node) ensureArena() {
-	if n.arena == nil {
-		n.arena = make([]byte, 2*len(n.pages)*n.sys.cfg.PageSize)
-	}
-}
-
-// pageAt returns the node's view of pg.
-func (n *node) pageAt(pg PageID) *page {
-	return &n.pages[pg]
-}
-
-// materialize allocates p's local copy on first use; pages read as zeros
-// until then. The copy comes from the node's arena (slot used exactly
-// once per page, pre-zeroed by allocation) unless pooling is disabled.
-func (n *node) materialize(p *page) {
-	if p.data != nil {
-		return
-	}
-	if !n.sys.cfg.NoPagePooling {
-		n.ensureArena()
-		ps := n.sys.cfg.PageSize
-		off := 2 * int(p.id) * ps
-		p.data = n.arena[off : off+ps : off+ps]
-		return
-	}
-	p.data = make([]byte, n.sys.cfg.PageSize)
-}
-
-// newTwin snapshots p's current contents as its twin. The twin slot is
-// reused across write-collection episodes — each episode fully
-// overwrites it with the page copy, so reuse cannot leak state.
-func (n *node) newTwin(p *page) {
-	if !n.sys.cfg.NoPagePooling {
-		n.ensureArena()
-		ps := n.sys.cfg.PageSize
-		off := (2*int(p.id) + 1) * ps
-		p.twin = n.arena[off : off+ps : off+ps]
-	} else {
-		p.twin = make([]byte, n.sys.cfg.PageSize)
-	}
-	copy(p.twin, p.data)
-}
-
 // ensureIntervals creates the per-node interval table on first use; a
 // run that never closes an interval (no synchronization) never pays for
 // it.
@@ -241,7 +168,7 @@ func (n *node) closeInterval(t *Thread) {
 	// regress a byte. The page-length comparison and the protection
 	// downgrade are charged to the closing thread.
 	for _, pg := range n.dirty {
-		p := &n.pages[pg]
+		p := n.pageAt(pg)
 		p.openDirty = false
 		d := &Diff{
 			Page: pg,
@@ -252,9 +179,9 @@ func (n *node) closeInterval(t *Thread) {
 		}
 		n.storeDiff(d)
 		if nm := n.met; nm != nil {
-			nm.DiffBytes.Observe(int64(d.Bytes()))
+			nm.DiffBytes.Observe(int64(d.WireBytes(n.sys.cfg.CompressDiffs)))
 		}
-		p.twin = nil
+		n.releaseTwin(p)
 		if t != nil {
 			t.task.Advance(n.sys.cfg.DiffCreateCost +
 				n.mem.AccessRange(uint64(pg)<<n.sys.pageShift, n.sys.cfg.PageSize))
@@ -262,7 +189,7 @@ func (n *node) closeInterval(t *Thread) {
 		if tr := n.sys.tracer; tr != nil {
 			ev := trace.Event{Kind: trace.KindDiffCreate, Node: int32(n.id),
 				Thread: -1, Page: int32(pg),
-				Arg: int64(d.Bytes()), Aux: int64(n.curIdx)}
+				Arg: int64(d.WireBytes(n.sys.cfg.CompressDiffs)), Aux: int64(n.curIdx)}
 			if t != nil {
 				ev.T = t.task.Now()
 				ev.Thread = int32(t.gid)
@@ -282,7 +209,7 @@ func (n *node) closeInterval(t *Thread) {
 }
 
 func (n *node) storeDiff(d *Diff) {
-	p := &n.pages[d.Page]
+	p := n.pageAt(d.Page)
 	p.diffs = append(p.diffs, d)
 	n.stats.DiffsCreated++
 }
@@ -319,10 +246,11 @@ func (n *node) applyInfos(infos []*IntervalInfo, senderVT VClock) {
 		n.vt[info.Node] = info.Idx
 		for _, pg := range info.Pages {
 			p := n.pageAt(pg)
-			if info.Idx > p.wanted[info.Node] {
-				p.wanted[info.Node] = info.Idx
+			w := p.writer(info.Node)
+			if info.Idx > w.wanted {
+				w.wanted = info.Idx
 			}
-			if p.applied[info.Node] < p.wanted[info.Node] {
+			if w.applied < w.wanted {
 				p.state = PageInvalid
 			}
 		}
@@ -338,13 +266,14 @@ func (n *node) applyInfos(infos []*IntervalInfo, senderVT VClock) {
 // reply never reaches past the requester's write-notice horizon.
 // Intervals in the range that did not dirty the page simply have no diff.
 func (n *node) serveDiffRequest(pg PageID, from, to int32, reply func(ds []*Diff, bytes int, serviceTime sim.Time)) {
-	stored := n.pages[pg].diffs
+	stored := n.pageAt(pg).diffs
 	i := sort.Search(len(stored), func(i int) bool { return stored[i].Idx > from })
 	j := sort.Search(len(stored), func(j int) bool { return stored[j].Idx > to })
 	ds := stored[i:j]
+	compress := n.sys.cfg.CompressDiffs
 	bytes := 16
 	for _, d := range ds {
-		bytes += d.Bytes()
+		bytes += d.WireBytes(compress)
 	}
 	reply(ds, bytes, n.sys.cfg.DiffServeCost)
 }

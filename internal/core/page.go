@@ -55,12 +55,15 @@ type page struct {
 	// list (a write notice will be emitted when the interval closes).
 	openDirty bool
 
-	// applied[n] is the highest interval index of node n whose
-	// modifications are reflected in data. wanted[n] is the highest
-	// index named by a received write notice. The page is consistent
-	// when applied covers wanted for every node.
-	applied []int32
-	wanted  []int32
+	// writers tracks, per remote writer that has ever been named by a
+	// write notice for this page, the highest interval index applied to
+	// data and the highest index wanted by a received notice. The page
+	// is consistent when applied covers wanted for every writer. Entries
+	// are sorted ascending by node and only exist for actual writers, so
+	// a page with two writers costs two entries regardless of cluster
+	// size (the dense per-node vectors this replaces cost O(nodes) per
+	// page per node).
+	writers []pageWriter
 
 	// diffs holds the diffs this node created for the page, ascending by
 	// interval index (the storage serveDiffRequest answers from).
@@ -75,14 +78,37 @@ type page struct {
 	swf *swFault
 }
 
+// pageWriter is one remote writer's interval coverage on one page.
+type pageWriter struct {
+	node    int32
+	applied int32 // highest interval index reflected in data
+	wanted  int32 // highest interval index named by a write notice
+}
+
+// writer returns the tracking entry for the given writer node, inserting
+// a zero entry (keeping writers sorted by node) if none exists. The scan
+// is linear: pages rarely have more than a handful of writers.
+func (p *page) writer(node int) *pageWriter {
+	i := 0
+	for ; i < len(p.writers); i++ {
+		if int(p.writers[i].node) >= node {
+			break
+		}
+	}
+	if i < len(p.writers) && int(p.writers[i].node) == node {
+		return &p.writers[i]
+	}
+	p.writers = append(p.writers, pageWriter{})
+	copy(p.writers[i+1:], p.writers[i:])
+	p.writers[i] = pageWriter{node: int32(node)}
+	return &p.writers[i]
+}
+
 // consistent reports whether every write notice received for the page has
 // been applied.
 func (p *page) consistent() bool {
-	for i := range p.wanted {
-		if p.applied[i] > p.wanted[i] {
-			continue
-		}
-		if p.wanted[i] > p.applied[i] {
+	for i := range p.writers {
+		if p.writers[i].wanted > p.writers[i].applied {
 			return false
 		}
 	}
@@ -90,12 +116,14 @@ func (p *page) consistent() bool {
 }
 
 // missingFrom returns the nodes holding diffs this node still needs,
-// with the (from, to] interval ranges to request.
+// with the (from, to] interval ranges to request. Entries come out
+// ascending by node because writers is sorted.
 func (p *page) missingFrom() []diffRange {
 	var out []diffRange
-	for n := range p.wanted {
-		if p.wanted[n] > p.applied[n] {
-			out = append(out, diffRange{node: n, from: p.applied[n], to: p.wanted[n]})
+	for i := range p.writers {
+		w := &p.writers[i]
+		if w.wanted > w.applied {
+			out = append(out, diffRange{node: int(w.node), from: w.applied, to: w.wanted})
 		}
 	}
 	return out

@@ -140,7 +140,7 @@ func TestReadModifyWriteUnderLoad(t *testing.T) {
 	// Final value readable from the last holder's copy.
 	var got int64
 	for _, n := range s.nodes {
-		if p := &n.pages[0]; p.data != nil {
+		if p := n.peek(0); p != nil && p.data != nil {
 			if v := int64(le64(p.data)); v > got {
 				got = v
 			}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSWProtocolBeyond64Nodes is the regression test for the copyset's
+// former uint64 representation: with 65 nodes, node 64's membership bit
+// wrapped around (Go defines 1<<64 on uint64 as 0), so node 64 silently
+// vanished from every copyset, write invalidations skipped it, and it
+// read stale data forever. The scenario forces exactly that path: node
+// 64 joins a read copyset, another node writes, node 64 must observe the
+// new value.
+func TestSWProtocolBeyond64Nodes(t *testing.T) {
+	const nodes = 65
+	cfg := DefaultConfig(nodes, 1)
+	cfg.Protocol = ProtocolSW
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := s.Alloc("x", cfg.PageSize)
+	runApp(t, s, func(w *Thread) {
+		if w.GlobalID() == 64 {
+			w.WriteI64(addr, 7)
+		}
+		w.Barrier(0)
+		// Every node reads: all 65 nodes join the copyset.
+		if v := w.ReadI64(addr); v != 7 {
+			t.Errorf("node %d phase 2: read %d, want 7", w.GlobalID(), v)
+		}
+		w.Barrier(1)
+		if w.GlobalID() == 3 {
+			// Invalidation must fan out to all 64 other copies — node 64
+			// included.
+			w.WriteI64(addr, 9)
+		}
+		w.Barrier(2)
+		if v := w.ReadI64(addr); v != 9 {
+			t.Errorf("node %d phase 4: read %d, want 9 (stale copy not invalidated)", w.GlobalID(), v)
+		}
+	})
+	// After phase 4 every node holds a read copy again: the copyset must
+	// have spilled past the inline array and node 64 — the node the old
+	// bitmask lost — must be a member.
+	d := s.nodes[0].swdir[0]
+	if d == nil {
+		t.Fatal("no directory entry at the manager")
+	}
+	if got := d.copyset.size(); got != nodes {
+		t.Errorf("final copyset size = %d, want %d (all readers rejoined)", got, nodes)
+	}
+	if d.copyset.bits == nil {
+		t.Error("a 65-member copyset did not spill to the bitset form")
+	}
+	if !d.copyset.contains(64) {
+		t.Error("node 64 missing from the copyset (the old uint64 wraparound bug)")
+	}
+	if d.owner != 3 {
+		t.Errorf("owner = %d, want 3 (the phase-3 writer)", d.owner)
+	}
+}
+
+// TestLRCBeyond64Nodes runs the default lazy-multi-writer protocol past
+// the old ceiling: 65 nodes incrementing one counter under a lock, with
+// interval/write-notice machinery exercised end to end.
+func TestLRCBeyond64Nodes(t *testing.T) {
+	const nodes = 65
+	s := testSystem(t, nodes, 1)
+	addr, _ := s.Alloc("counter", s.cfg.PageSize)
+	runApp(t, s, func(w *Thread) {
+		w.Lock(1)
+		w.WriteI64(addr, w.ReadI64(addr)+1)
+		w.Unlock(1)
+		w.Barrier(0)
+		w.Lock(1)
+		if v := w.ReadI64(addr); v != nodes {
+			t.Errorf("node %d: counter = %d, want %d", w.GlobalID(), v, nodes)
+		}
+		w.Unlock(1)
+	})
+}
+
+// TestCopysetSpill unit-tests the inline→bitset transition, ordering,
+// and pool recycling.
+func TestCopysetSpill(t *testing.T) {
+	var pool csPool
+	pool.init(130)
+	var cs copyset
+	cs.reset(5, &pool)
+	if got := cs.size(); got != 1 || !cs.contains(5) {
+		t.Fatalf("after reset(5): size=%d contains(5)=%v", got, cs.contains(5))
+	}
+	// Insert out of order, with duplicates, past the inline capacity.
+	for _, n := range []int{99, 2, 129, 2, 64, 65, 17, 0, 99, 33} {
+		cs.add(n, &pool)
+	}
+	want := []int32{0, 2, 5, 17, 33, 64, 65, 99, 129}
+	if cs.bits == nil {
+		t.Fatalf("copyset with %d members did not spill", len(want))
+	}
+	if got := cs.size(); got != len(want) {
+		t.Fatalf("size = %d, want %d", got, len(want))
+	}
+	got := cs.appendMembers(nil, -1, -1)
+	for i, m := range want {
+		if got[i] != m {
+			t.Fatalf("members = %v, want %v", got, want)
+		}
+	}
+	// Skips must drop members without disturbing order.
+	skipped := cs.appendMembers(nil, 0, 129)
+	if len(skipped) != len(want)-2 || skipped[0] != 2 || skipped[len(skipped)-1] != 99 {
+		t.Fatalf("appendMembers with skips = %v", skipped)
+	}
+	// reset returns the spilled bitset to the pool, zeroed, and the next
+	// spill reuses it.
+	cs.reset(7, &pool)
+	if cs.bits != nil || len(pool.free) != 1 {
+		t.Fatalf("reset did not recycle the bitset (bits=%v, pool=%d)", cs.bits, len(pool.free))
+	}
+	for n := 0; n < copysetInline+1; n++ {
+		cs.add(10+n, &pool)
+	}
+	if len(pool.free) != 0 {
+		t.Fatal("re-spill did not take the pooled bitset")
+	}
+	if got := cs.size(); got != copysetInline+2 {
+		t.Fatalf("size after re-spill = %d, want %d", got, copysetInline+2)
+	}
+}
+
+// TestFirstTouchMaterialization: page-table shards materialize on first
+// touch only — a node whose threads work in a narrow address range holds
+// page structs for that range alone, no matter how large the shared
+// segment is.
+func TestFirstTouchMaterialization(t *testing.T) {
+	s := testSystem(t, 2, 1)
+	const pages = 100_000 // ~1563 shards of address space
+	base, _ := s.Alloc("big", pages*s.cfg.PageSize)
+	runApp(t, s, func(w *Thread) {
+		if w.GlobalID() == 0 {
+			w.WriteI64(base, 1)                         // shard 0
+			w.WriteI64(base+Addr(77*s.cfg.PageSize), 2) // shard 1
+		}
+		w.Barrier(0)
+		if w.GlobalID() == 1 {
+			if v := w.ReadI64(base); v != 1 {
+				t.Errorf("read %d, want 1", v)
+			}
+		}
+	})
+	for id, n := range s.nodes {
+		if n.shardCount > 3 {
+			t.Errorf("node %d materialized %d shards, want ≤ 3 (working set is 2 shards)", id, n.shardCount)
+		}
+		if got := len(n.shards); got != (pages+pageShardSize-1)/pageShardSize {
+			t.Errorf("node %d directory root has %d entries", id, got)
+		}
+	}
+	if p := s.nodes[1].peek(PageID(50_000)); p != nil {
+		t.Error("untouched page has a materialized struct")
+	}
+}
+
+// TestPoolReuseAfterInvalidate: a page buffer released by a single-writer
+// invalidation is recycled for the node's next materialization instead of
+// allocating a fresh one.
+func TestPoolReuseAfterInvalidate(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.Protocol = ProtocolSW
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := s.Alloc("x", 4*cfg.PageSize)
+	runApp(t, s, func(w *Thread) {
+		if w.GlobalID() == 0 {
+			w.WriteI64(base, 1) // node 0 materializes page 0
+		}
+		w.Barrier(0)
+		if w.GlobalID() == 1 {
+			w.WriteI64(base, 2) // invalidates node 0's copy → buffer pooled
+		}
+		w.Barrier(1)
+		if w.GlobalID() == 0 {
+			// New page: materialization must reuse the pooled buffer.
+			w.WriteI64(base+Addr(2*cfg.PageSize), 3)
+		}
+	})
+	n0 := s.nodes[0]
+	if p := n0.peek(0); p == nil || p.data != nil {
+		t.Error("node 0's invalidated copy of page 0 still holds a buffer")
+	}
+	if p := n0.peek(2); p == nil || p.data == nil {
+		t.Error("node 0's page 2 never materialized")
+	}
+	if got := len(n0.pool.free); got != 0 {
+		t.Errorf("node 0 free list has %d buffers; the recycled buffer was not reused", got)
+	}
+}
+
+// TestTwinPoolReuse: LRC twins return to the pool when the interval
+// closes and are reused by the next write episode.
+func TestTwinPoolReuse(t *testing.T) {
+	s := testSystem(t, 2, 1)
+	addr, _ := s.Alloc("x", s.cfg.PageSize)
+	runApp(t, s, func(w *Thread) {
+		if w.GlobalID() == 0 {
+			for r := 0; r < 3; r++ {
+				w.Lock(0)
+				w.WriteI64(addr, int64(r)) // twin created
+				w.Unlock(0)                // interval closes, twin pooled
+			}
+		}
+		w.Barrier(0)
+	})
+	n0 := s.nodes[0]
+	if p := n0.peek(0); p == nil || p.twin != nil {
+		t.Fatal("twin still attached after the final interval close")
+	}
+	// Three write episodes, one data buffer + one twin buffer total: the
+	// twin slot was recycled twice, so exactly one buffer sits free.
+	if got := len(n0.pool.free); got != 1 {
+		t.Errorf("free list has %d buffers, want 1 (the recycled twin)", got)
+	}
+	if n0.pool.nextSlab > 2*bufPoolFirstSlab {
+		t.Errorf("slab growth ran to %d pages for a 2-buffer working set", n0.pool.nextSlab)
+	}
+}
+
+// TestMemoryFootprintMillionPages is the scale-out memory guarantee: a
+// 1024-node system over a million-page (8 GB) shared segment, with each
+// node touching a tiny working set, stays under a fixed heap budget.
+// The eager layout this replaced allocated ~16 MB of page structs plus
+// an 8 GB pageVec equivalent *per node* before the first fault.
+func TestMemoryFootprintMillionPages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-node system in -short mode")
+	}
+	const nodes = 1024
+	const pages = 1 << 20 // 8 GB of address space at 8 KB pages
+	cfg := DefaultConfig(nodes, 1)
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := s.Alloc("huge", pages*cfg.PageSize)
+	if got := int(s.allocated) >> s.pageShift; got < pages {
+		t.Fatalf("allocated %d pages, want ≥ %d", got, pages)
+	}
+	// Each node writes one word in its own page of a dense strip and
+	// reads its neighbor's — a tiny per-node working set with real
+	// cross-node coherence traffic (write notices for all 1024 strip
+	// pages reach every node).
+	runApp(t, s, func(w *Thread) {
+		g := w.GlobalID()
+		own := base + Addr(g*cfg.PageSize)
+		w.WriteI64(own, int64(g)+1)
+		w.Barrier(0)
+		peer := base + Addr(((g+1)%nodes)*cfg.PageSize)
+		if v := w.ReadI64(peer); v != int64((g+1)%nodes)+1 {
+			t.Errorf("node %d: neighbor read %d", g, v)
+		}
+	})
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	const budget = 768 << 20
+	if ms.HeapAlloc > budget {
+		t.Errorf("HeapAlloc = %d MB after the run, budget %d MB",
+			ms.HeapAlloc>>20, budget>>20)
+	}
+	// The strip plus its neighbors spans ≤ 17 shards per node.
+	for id, n := range s.nodes {
+		if n.shardCount > 20 {
+			t.Fatalf("node %d materialized %d shards for a 2-page working set", id, n.shardCount)
+		}
+	}
+}

@@ -131,9 +131,9 @@ func runSpanScenario(t *testing.T, sc spanScenario, span bool) (RunStats, []byte
 	})
 
 	var data []byte
-	for i := range s.nodes[0].pages {
-		p := &s.nodes[0].pages[i]
-		if p.data == nil {
+	for i := 0; i < s.nodes[0].totalPages; i++ {
+		p := s.nodes[0].peek(PageID(i))
+		if p == nil || p.data == nil {
 			data = append(data, make([]byte, pageSize)...)
 		} else {
 			data = append(data, p.data[:pageSize]...)
@@ -198,8 +198,8 @@ func TestSpanZeroPages(t *testing.T) {
 			}
 		}
 	})
-	for i := range s.nodes[0].pages {
-		if p := &s.nodes[0].pages[i]; p.data != nil {
+	for i := 0; i < s.nodes[0].totalPages; i++ {
+		if p := s.nodes[0].peek(PageID(i)); p != nil && p.data != nil {
 			t.Errorf("page %d materialized by a read of untouched memory", p.id)
 		}
 	}

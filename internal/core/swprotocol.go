@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math/bits"
-
 	"cvm/internal/sim"
 	"cvm/internal/trace"
 )
@@ -42,7 +40,7 @@ func (p Protocol) String() string {
 // serializing fault handling.
 type swDir struct {
 	owner   int
-	copyset uint64 // bitmask of nodes with a valid (read or write) copy
+	copyset copyset // nodes with a valid (read or write) copy
 
 	busy        bool
 	pendingAcks int
@@ -69,7 +67,8 @@ func (n *node) swDirFor(pg PageID) *swDir {
 		if n.swdir == nil {
 			n.swdir = make(map[PageID]*swDir)
 		}
-		d = &swDir{owner: n.id, copyset: 1 << uint(n.id)}
+		d = &swDir{owner: n.id}
+		d.copyset.reset(n.id, &n.csp)
 		n.swdir[pg] = d
 	}
 	return d
@@ -162,20 +161,20 @@ func (n *node) swServe(pg PageID, d *swDir, req swReq) {
 		n.swTransfer(pg, d)
 		return
 	}
-	// Write: invalidate every copy except the requester's own.
-	targets := d.copyset &^ (1 << uint(req.node))
-	targets &^= 1 << uint(d.owner) // the owner's copy dies at transfer
-	d.pendingAcks = bits.OnesCount64(targets)
+	// Write: invalidate every copy except the requester's own (the
+	// owner's copy dies at transfer). Fan-out enumerates the copyset
+	// directly — ascending by node, like the old full 0..N bitmask scan,
+	// but in O(|copyset|).
+	targets := d.copyset.appendMembers(n.csScratch[:0], req.node, d.owner)
+	n.csScratch = targets[:0]
+	d.pendingAcks = len(targets)
 	if d.pendingAcks == 0 {
 		n.swTransfer(pg, d)
 		return
 	}
 	sys := n.sys
-	for node := 0; node < sys.cfg.Nodes; node++ {
-		if targets&(1<<uint(node)) == 0 {
-			continue
-		}
-		node := node
+	for _, t := range targets {
+		node := int(t)
 		n.swSend(node, swCtlBytes, func() {
 			sys.nodes[node].swInvalidate(pg)
 			sys.nodes[node].swSend(n.id, swCtlBytes, func() {
@@ -188,12 +187,16 @@ func (n *node) swServe(pg PageID, d *swDir, req swReq) {
 	}
 }
 
-// swInvalidate drops this node's copy (engine context).
+// swInvalidate drops this node's copy (engine context). The page buffer
+// returns to the node's pool: any later access is preceded by a
+// full-page transfer (or the page is logically zero everywhere), so the
+// stale copy can never be read again.
 func (n *node) swInvalidate(pg PageID) {
 	p := n.pageAt(pg)
 	if p.state != PageInvalid {
 		p.state = PageInvalid
 	}
+	n.releaseData(p)
 }
 
 // swTransfer moves the page (and, for writes, ownership) to the
@@ -227,9 +230,9 @@ func (n *node) swTransfer(pg PageID, d *swDir) {
 
 	if req.write {
 		d.owner = req.node
-		d.copyset = 1 << uint(req.node)
+		d.copyset.reset(req.node, &n.csp)
 	} else {
-		d.copyset |= 1 << uint(req.node)
+		d.copyset.add(req.node, &n.csp)
 	}
 
 	if owner == req.node {
@@ -248,6 +251,7 @@ func (n *node) swTransfer(pg PageID, d *swDir) {
 		}
 		if req.write {
 			sp.state = PageInvalid
+			src.releaseData(sp) // the copy just shipped; recycle the buffer
 		} else if sp.state == PageReadWrite {
 			sp.state = PageReadOnly
 		}

@@ -77,6 +77,15 @@ type Config struct {
 	// shift timing relative to mode 0 — see DESIGN.md §10).
 	EngineWorkers int
 
+	// CompressDiffs switches netsim byte accounting for diff replies to
+	// the compressed wire encoding (run-length + xor8 prefilter, compact
+	// vector clocks — see diffwire.go) instead of the legacy fixed-width
+	// form. Off by default so seed-sized baselines stay byte-identical;
+	// the scaling study runs both settings to quantify the traffic win.
+	// Protocol behavior is unaffected either way — only message sizes,
+	// and therefore transfer times, change.
+	CompressDiffs bool
+
 	// NoPagePooling disables the per-node page-backing arena: page
 	// copies and twins are freshly allocated on demand and never reuse
 	// backing storage. Simulation results are identical either way; the

@@ -147,8 +147,8 @@ func TestLockCriticalSectionCounter(t *testing.T) {
 	})
 	// Verify final value through a fresh read on node 0's view.
 	want := int64(nodes * threads * rounds)
-	final := &s.nodes[0].pages[0]
-	if final.data == nil {
+	final := s.nodes[0].peek(0)
+	if final == nil || final.data == nil {
 		t.Fatal("counter page never materialized on node 0")
 	}
 	// Node 0 may be stale if it wasn't the last writer; check via stats
@@ -156,8 +156,8 @@ func TestLockCriticalSectionCounter(t *testing.T) {
 	// chain, so check the maximum across nodes.
 	var got int64
 	for _, n := range s.nodes {
-		p := &n.pages[0]
-		if p.data == nil {
+		p := n.peek(0)
+		if p == nil || p.data == nil {
 			continue
 		}
 		v := int64(le64(p.data))

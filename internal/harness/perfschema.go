@@ -24,6 +24,20 @@ type PerfBaseline struct {
 	Phases []PerfPhase `json:"phases,omitempty"`
 
 	Micro []MicroResult `json:"micro"`
+
+	// DiffWire records the compressed diff encoding's wire size against
+	// the raw run encoding on the fixed wire patterns, so the compression
+	// win is gated (cvm-metrics enforces absolute ratio caps), not
+	// anecdotal.
+	DiffWire []DiffWireResult `json:"diff_wire,omitempty"`
+}
+
+// DiffWireResult is one wire pattern's encoded-vs-raw size.
+type DiffWireResult struct {
+	Pattern      string  `json:"pattern"`
+	RawBytes     int     `json:"raw_bytes"`
+	EncodedBytes int     `json:"encoded_bytes"`
+	Ratio        float64 `json:"ratio"`
 }
 
 // PerfEngine is the conservative-windowed-engine portion of a perf

@@ -1,0 +1,7 @@
+//go:build !race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in; the
+// race-tagged twin of this file flips it.
+const raceEnabled = false

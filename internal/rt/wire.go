@@ -13,17 +13,17 @@ import (
 // request id the reply echoes, so replies route back to the blocked
 // worker without the dispatcher knowing who asked.
 const (
-	msgPageReq   uint8 = iota + 1 // reqID, pg          -> home
-	msgPageRep                    // reqID, pg, data    <- home
-	msgDiffReq                    // reqID, pg, runs    -> home
-	msgDiffAck                    // reqID              <- home
-	msgLockReq                    // reqID, lock        -> manager
-	msgLockGrant                  // reqID              <- manager
-	msgLockRel                    // lock               -> manager
-	msgBarArrive                  // barrier            -> manager (node 0)
-	msgBarRelease                 // barrier            <- manager
-	msgRedArrive                  // reduce, op, value  -> manager (node 0)
-	msgRedRelease                 // reduce, value      <- manager
+	msgPageReq    uint8 = iota + 1 // reqID, pg          -> home
+	msgPageRep                     // reqID, pg, data    <- home
+	msgDiffReq                     // reqID, pg, runs    -> home
+	msgDiffAck                     // reqID              <- home
+	msgLockReq                     // reqID, lock        -> manager
+	msgLockGrant                   // reqID              <- manager
+	msgLockRel                     // lock               -> manager
+	msgBarArrive                   // barrier            -> manager (node 0)
+	msgBarRelease                  // barrier            <- manager
+	msgRedArrive                   // reduce, op, value  -> manager (node 0)
+	msgRedRelease                  // reduce, value      <- manager
 )
 
 // classOf maps a message type to its Table 2 accounting class. Page and
@@ -69,46 +69,31 @@ func encodePageRep(reqID uint32, pg core.PageID, data []byte) []byte {
 	return append(b, data...)
 }
 
-// encodeDiff builds a diff flush: reqID, page id, run count, then each
-// run as (offset, length, bytes). Runs come from core.MakeDiff.
+// encodeDiff builds a diff flush: reqID, page id, then the runs in the
+// compressed wire form (run-length + xor8 prefilter, core.EncodeRuns).
+// The encoding is self-contained, so the home can decode it regardless
+// of its own page contents, and decoding returns exactly the Run form
+// core.MakeDiff produced.
 func encodeDiff(reqID uint32, pg core.PageID, runs []core.Run) []byte {
-	n := 12
-	for _, r := range runs {
-		n += 8 + len(r.Data)
-	}
-	b := make([]byte, 0, n)
+	b := make([]byte, 0, 64)
 	b = putU32(b, reqID)
 	b = putU32(b, uint32(pg))
-	b = putU32(b, uint32(len(runs)))
-	for _, r := range runs {
-		b = putU32(b, uint32(r.Off))
-		b = putU32(b, uint32(len(r.Data)))
-		b = append(b, r.Data...)
-	}
-	return b
+	return core.EncodeRuns(b, runs)
 }
 
 // decodeDiff parses an encodeDiff payload back into page id and runs.
 func decodeDiff(b []byte) (reqID uint32, pg core.PageID, runs []core.Run, err error) {
-	if len(b) < 12 {
+	if len(b) < 8 {
 		return 0, 0, nil, fmt.Errorf("rt: diff payload %d bytes", len(b))
 	}
 	reqID = u32(b)
 	pg = core.PageID(u32(b[4:]))
-	cnt := int(u32(b[8:]))
-	b = b[12:]
-	runs = make([]core.Run, 0, cnt)
-	for k := 0; k < cnt; k++ {
-		if len(b) < 8 {
-			return 0, 0, nil, fmt.Errorf("rt: truncated diff run header")
-		}
-		off, ln := u32(b), int(u32(b[4:]))
-		b = b[8:]
-		if len(b) < ln {
-			return 0, 0, nil, fmt.Errorf("rt: truncated diff run data")
-		}
-		runs = append(runs, core.Run{Off: int32(off), Data: b[:ln:ln]})
-		b = b[ln:]
+	runs, rest, err := core.DecodeRuns(b[8:])
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("rt: diff payload: %w", err)
+	}
+	if len(rest) != 0 {
+		return 0, 0, nil, fmt.Errorf("rt: %d trailing bytes after diff runs", len(rest))
 	}
 	return reqID, pg, runs, nil
 }
