@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race golden-trace bench-smoke chaos par-check cluster-smoke scale-smoke metrics-gate metrics-baseline perf-baseline scale-baseline
+.PHONY: check vet build test race golden-trace bench-smoke chaos par-check cluster-smoke scale-smoke metrics-gate diff-backends metrics-baseline perf-baseline scale-baseline
 
 ## check: the pre-commit gate (mirrors .github/workflows/ci.yml) — vet,
 ## build, race-test everything, verify the golden trace, a one-iteration
 ## pass over every benchmark so the perf kernels stay honest, the chaos
 ## suite under fault injection, the windowed-engine determinism guard,
 ## the multi-process cluster smoke against the simulator oracle, the
-## 256-node scale smoke, and the metrics regression gate against the
-## committed baseline.
-check: vet build race golden-trace bench-smoke chaos par-check cluster-smoke scale-smoke metrics-gate
+## 256-node scale smoke, the metrics regression gate against the
+## committed baseline, and the sim-vs-real counter-equivalence gate.
+check: vet build race golden-trace bench-smoke chaos par-check cluster-smoke scale-smoke metrics-gate diff-backends
 	@echo "check: OK"
 
 vet:
@@ -79,6 +79,22 @@ metrics-gate:
 	$(GO) run ./cmd/cvm-run -app waternsq -nodes 4 -threads 2 -size test -metrics metrics_current.json >/dev/null
 	$(GO) run ./cmd/cvm-metrics compare BASELINE_metrics.json metrics_current.json
 	@rm -f metrics_current.json
+
+## diff-backends: the sim-vs-real counter-equivalence gate. Run sor and
+## waternsq at 4x2 on both backends — the deterministic simulator and
+## the real runtime over the in-process loopback transport — and require
+## every backend-invariant sync counter (lock acquires/releases, barrier
+## and local-barrier arrivals, reductions) to match exactly. Wall-time
+## histograms are reported side by side, never gated: the two backends
+## measure different machines.
+diff-backends:
+	@for app in sor waternsq; do \
+		echo "== diff-backends: $$app 4x2 =="; \
+		$(GO) run ./cmd/cvm-run -app $$app -nodes 4 -threads 2 -size test -metrics sim_$$app.json >/dev/null || exit 1; \
+		$(GO) run ./cmd/cvm-run -transport loopback -app $$app -nodes 4 -threads 2 -size test -metrics real_$$app.json >/dev/null || exit 1; \
+		$(GO) run ./cmd/cvm-metrics diff-backends sim_$$app.json real_$$app.json || exit 1; \
+		rm -f sim_$$app.json real_$$app.json; \
+	done
 
 ## metrics-baseline: regenerate the committed metrics-gate baseline.
 metrics-baseline:

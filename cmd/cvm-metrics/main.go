@@ -8,6 +8,15 @@
 //	cvm-metrics compare baseline.json current.json
 //	cvm-metrics compare -tol 0.10 -hard-latency BASELINE_metrics.json profile.json
 //	cvm-metrics compare BENCH_baseline.json BENCH_harness.json
+//	cvm-metrics diff-backends sim.json loopback.json
+//	cvm-metrics scrape 127.0.0.1:8100
+//
+// diff-backends gates the sim-vs-real counter equivalence: the
+// backend-invariant sync counters must match exactly between a
+// simulator report and a real-backend report of the same run, while
+// time-typed metrics (virtual vs wall nanoseconds) print side by side.
+// scrape probes a live cvm-node debug server (-debug-addr) without
+// needing curl: /healthz must answer and /metrics must be non-trivial.
 //
 // compare sniffs the schema: files with a "micro" key are harness perf
 // baselines (ns/op drifts warn, allocs/op increases and determinism
@@ -46,8 +55,12 @@ func run(args []string, out io.Writer) error {
 		return runShow(args[1:], out)
 	case "compare":
 		return runCompare(args[1:], out)
+	case "diff-backends":
+		return runDiffBackends(args[1:], out)
+	case "scrape":
+		return runScrape(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want show or compare)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want show, compare, diff-backends or scrape)", args[0])
 	}
 }
 

@@ -222,3 +222,66 @@ func TestShowRendersReport(t *testing.T) {
 		t.Errorf("show output missing histogram table: %q", out.String())
 	}
 }
+
+// writeBackendReport builds a minimal report with the given sync
+// counters; real selects whether it carries a Real section (i.e. which
+// backend it claims to come from).
+func writeBackendReport(t *testing.T, dir, name string, lockAcquires, barriers int64, real bool) string {
+	t.Helper()
+	snap := &metrics.Snapshot{Nodes: make([]metrics.NodeMetrics, 2), MsgClasses: []string{"Lock"}}
+	snap.LockAcquires.Add(lockAcquires)
+	snap.LockReleases.Add(lockAcquires)
+	snap.BarrierArrivals.Add(barriers)
+	snap.Nodes[0].FaultService.Observe(5000)
+	rep := metrics.NewReport(metrics.Meta{App: "sor", Config: "2x1 size=test"}, snap, 5)
+	if real {
+		rep.Real = &metrics.RealStats{Backend: "loopback", Nodes: 2, ElapsedNs: 1e6}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffBackendsGate(t *testing.T) {
+	dir := t.TempDir()
+	sim := writeBackendReport(t, dir, "sim.json", 10, 4, false)
+	same := writeBackendReport(t, dir, "same.json", 10, 4, true)
+	drifted := writeBackendReport(t, dir, "drifted.json", 11, 4, true)
+
+	var out bytes.Buffer
+	if err := run([]string{"diff-backends", sim, same}, &out); err != nil {
+		t.Errorf("matching reports failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "backend-invariant counters match exactly") {
+		t.Errorf("missing verdict line:\n%s", out.String())
+	}
+
+	out.Reset()
+	err := run([]string{"diff-backends", sim, drifted}, &out)
+	if err == nil {
+		t.Fatalf("drifted counters passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "lock_acquires") {
+		t.Errorf("gate error %q does not name the drifted counter", err)
+	}
+	if !strings.Contains(out.String(), "MISMATCH") {
+		t.Errorf("table does not flag the mismatch:\n%s", out.String())
+	}
+}
+
+func TestDiffBackendsRejectsSwappedArguments(t *testing.T) {
+	dir := t.TempDir()
+	sim := writeBackendReport(t, dir, "sim.json", 10, 4, false)
+	real := writeBackendReport(t, dir, "real.json", 10, 4, true)
+	var out bytes.Buffer
+	if err := run([]string{"diff-backends", real, sim}, &out); err == nil ||
+		!strings.Contains(err.Error(), "simulator report") {
+		t.Errorf("swapped arguments = %v, want backend-identity error", err)
+	}
+}

@@ -21,6 +21,24 @@
 // -data sets the host:port the node's DSM data listener binds (default
 // 127.0.0.1:0, single-host clusters); on real multi-host clusters give
 // each node an address its peers can reach.
+//
+// -debug-addr starts a read-only introspection HTTP server on any node:
+// /healthz (liveness), /status (epoch, per-thread states, per-peer
+// traffic), /metrics (wall-clock metrics report as JSON, or Prometheus
+// text with ?format=prom), and /debug/pprof/ for live profiling. See
+// DESIGN.md §13 and "Observing a real cluster" in the README.
+//
+// Every node collects wall-clock protocol metrics; members ship theirs
+// to the coordinator in the result message, and the coordinator merges
+// them in node order. -report prints the merged profile, -metrics FILE
+// writes it as JSON (compare against a simulator report with
+// cvm-metrics diff-backends), and -trace FILE records node 0's protocol
+// events as Chrome trace JSON — all three coordinator-only.
+//
+// On SIGINT or SIGTERM the node shuts down gracefully: it severs its
+// control and data connections so every peer's pending step fails
+// promptly with an attributed error instead of hanging, drains the
+// debug server, and exits nonzero. A second signal forces exit.
 package main
 
 import (
@@ -28,12 +46,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"cvm"
 	"cvm/internal/apps"
 	"cvm/internal/cluster"
+	"cvm/internal/debugsrv"
+	"cvm/internal/metrics"
+	"cvm/internal/rt"
+	"cvm/internal/trace"
 )
 
 func main() {
@@ -59,6 +84,15 @@ func run(args []string, out io.Writer) error {
 		timeout = fs.Duration("timeout", 2*time.Minute, "bound on every control step, mesh formation included")
 		oracle  = fs.Bool("oracle", false, "coordinator only: also run the deterministic simulator and require an exact checksum match")
 		quiet   = fs.Bool("quiet", false, "suppress progress messages")
+
+		debugAddr   = fs.String("debug-addr", "", "serve /healthz, /status, /metrics and /debug/pprof on this host:port")
+		debugLinger = fs.Duration("debug-linger", 0, "keep the debug server up this long after the run ends (lets scrapers catch fast runs)")
+
+		metricsOut  = fs.String("metrics", "", "coordinator only: write the merged wall-clock metrics report as JSON to this file")
+		showReport  = fs.Bool("report", false, "coordinator only: print the merged human-readable metrics profile")
+		metricsTopN = fs.Int("metrics-top", 10, "rows kept in the hot-page and hot-lock tables")
+		traceOut    = fs.String("trace", "", "coordinator only: write node 0's protocol events as Chrome trace JSON to this file")
+		traceLimit  = fs.Int("trace-limit", 0, "per-node trace event ring bound (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,10 +109,63 @@ func run(args []string, out io.Writer) error {
 	if *timeout > time.Hour {
 		return fmt.Errorf("-timeout %v exceeds the 1h bound (a wedged cluster should fail, not linger)", *timeout)
 	}
+	if *metricsTopN < 1 {
+		return fmt.Errorf("-metrics-top must be >= 1, got %d", *metricsTopN)
+	}
+	if *traceLimit < 0 {
+		return fmt.Errorf("-trace-limit must be >= 0, got %d", *traceLimit)
+	}
 	opts := cluster.Options{DataAddr: *data, Timeout: *timeout, Log: out}
 	if *quiet {
 		opts.Log = io.Discard
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM severs this node's
+	// cluster connections (failing every blocked step, local and remote,
+	// with an attributed error); a second one forces exit.
+	interrupt := make(chan struct{})
+	interrupted := make(chan struct{}) // closed after the message printed
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		s := <-sigCh
+		fmt.Fprintf(os.Stderr, "cvm-node: caught %v, aborting the run; partial results are discarded\n", s)
+		close(interrupted)
+		close(interrupt)
+		s = <-sigCh
+		fmt.Fprintf(os.Stderr, "cvm-node: caught second %v, forcing exit\n", s)
+		os.Exit(1)
+	}()
+	opts.Interrupt = interrupt
+
+	// Live introspection: the debug server comes up before the handshake
+	// (so /healthz answers while the node waits for peers) and attaches
+	// its status and metrics sources when the run starts.
+	var live liveRun
+	if *debugAddr != "" {
+		srv, err := debugsrv.Start(*debugAddr, debugsrv.Sources{
+			Status: live.status,
+			Report: live.report,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(opts.Log, "debug server on http://%s (/healthz /status /metrics /debug/pprof)\n", srv.Addr())
+		defer func() {
+			if *debugLinger > 0 {
+				select {
+				case <-interrupted: // don't linger on an aborted run
+				case <-time.After(*debugLinger):
+				}
+			}
+			srv.Shutdown(2 * time.Second)
+		}()
+	}
+	live.topN = *metricsTopN
+	opts.Started = live.started
+
+	var rec *trace.Recorder
 
 	if *join != "" {
 		memberOnly := func(name string) bool {
@@ -86,7 +173,8 @@ func run(args []string, out io.Writer) error {
 			fs.Visit(func(f *flag.Flag) { set = set || f.Name == name })
 			return set
 		}
-		for _, name := range []string{"app", "size", "threads", "page", "seed", "oracle"} {
+		for _, name := range []string{"app", "size", "threads", "page", "seed", "oracle",
+			"metrics", "report", "trace", "trace-limit"} {
 			if memberOnly(name) {
 				return fmt.Errorf("-%s is the coordinator's to set; members take it from the wire", name)
 			}
@@ -105,7 +193,7 @@ func run(args []string, out io.Writer) error {
 		}
 		outcome, err := cluster.Join(*join, *nodeID, nodesArg, opts)
 		if err != nil {
-			return err
+			return interruptedErr(err, interrupted)
 		}
 		fmt.Fprintf(out, "node %d: ok, checksum %v\n", *nodeID, outcome.Checksum)
 		return nil
@@ -122,14 +210,46 @@ func run(args []string, out io.Writer) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
+	if *traceOut != "" {
+		rec = trace.NewRecorder(spec.Nodes, spec.Threads, *traceLimit)
+		opts.Tracer = rec
+	}
 	outcome, err := cluster.Coordinate(*listen, spec, opts)
 	if err != nil {
-		return err
+		return interruptedErr(err, interrupted)
 	}
 	fmt.Fprintf(out, "%s/%s on %d nodes x %d threads over tcp: checksum %v (verified against sequential reference)\n",
 		spec.App, spec.Size, spec.Nodes, spec.Threads, outcome.Checksum)
 	fmt.Fprintf(out, "node 0 traffic: %d messages, %d KB, %v elapsed\n",
 		outcome.Net.TotalMsgs(), outcome.Net.TotalBytes()/1024, outcome.Elapsed.Round(time.Millisecond))
+
+	if *showReport || *metricsOut != "" {
+		rep := metrics.NewReport(metrics.Meta{
+			App:    spec.App,
+			Config: fmt.Sprintf("%dx%d size=%s", spec.Nodes, spec.Threads, spec.Size),
+		}, outcome.Metrics, *metricsTopN)
+		rep.Real = rt.RealStats("tcp", spec.Nodes, outcome.Elapsed, outcome.Net)
+		if *showReport {
+			fmt.Fprintln(out)
+			if err := rep.WriteText(out); err != nil {
+				return err
+			}
+		}
+		if *metricsOut != "" {
+			if err := writeFileWith(*metricsOut, rep.WriteJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote merged metrics report to %s\n", *metricsOut)
+		}
+	}
+	if rec != nil {
+		if err := writeFileWith(*traceOut, func(w io.Writer) error {
+			return trace.WriteChrome(w, rec)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d trace events to %s (load at ui.perfetto.dev)\n", rec.Len(), *traceOut)
+	}
 
 	if *oracle {
 		sz, err := apps.ParseSize(spec.Size)
@@ -148,4 +268,84 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "oracle: simulator checksum %v matches exactly\n", simSum)
 	}
 	return nil
+}
+
+// interruptedErr makes a signal-induced failure loud and unambiguous.
+func interruptedErr(err error, interrupted <-chan struct{}) error {
+	select {
+	case <-interrupted:
+		return fmt.Errorf("run aborted by signal; the cluster's partial results are discarded (underlying: %v)", err)
+	default:
+		return err
+	}
+}
+
+// liveRun is the debug server's view of the node: empty until the
+// control plane calls started, live afterwards.
+type liveRun struct {
+	mu    sync.Mutex
+	info  *cluster.RunInfo
+	start time.Time
+	topN  int
+}
+
+func (lr *liveRun) started(info cluster.RunInfo) {
+	lr.mu.Lock()
+	lr.info = &info
+	lr.start = time.Now()
+	lr.mu.Unlock()
+}
+
+func (lr *liveRun) get() (*cluster.RunInfo, time.Time) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return lr.info, lr.start
+}
+
+// status backs /status: handshake state before the run, the node's
+// spec, epoch, thread states and per-peer traffic once it is live.
+func (lr *liveRun) status() any {
+	info, start := lr.get()
+	if info == nil {
+		return map[string]any{"state": "handshaking"}
+	}
+	return map[string]any{
+		"state":      "running",
+		"node":       info.Node,
+		"app":        info.Spec.App,
+		"size":       info.Spec.Size,
+		"nodes":      info.Spec.Nodes,
+		"threads":    info.Spec.Threads,
+		"elapsed_ns": time.Since(start).Nanoseconds(),
+		"status":     info.Cluster.Status(),
+	}
+}
+
+// report backs /metrics: this process's own wall-clock snapshot (one
+// node of the cluster; the coordinator's merged report exists only
+// after the run).
+func (lr *liveRun) report() *metrics.Report {
+	info, start := lr.get()
+	if info == nil {
+		return nil
+	}
+	rep := metrics.NewReport(metrics.Meta{
+		App:    info.Spec.App,
+		Config: fmt.Sprintf("%dx%d size=%s", info.Spec.Nodes, info.Spec.Threads, info.Spec.Size),
+	}, info.Metrics.Snapshot(), lr.topN)
+	rep.Real = rt.RealStats("tcp", info.Spec.Nodes, time.Since(start), info.Conn.Stats())
+	return rep
+}
+
+// writeFileWith creates path and streams write into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

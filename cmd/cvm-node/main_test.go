@@ -3,10 +3,18 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
+
+	"cvm/internal/metrics"
 )
 
 // runErr runs the command line and returns its error.
@@ -34,6 +42,11 @@ func TestFlagValidation(t *testing.T) {
 		{"member sets size", []string{"-join", "x:1", "-node-id", "1", "-size", "test"}, "coordinator's to set"},
 		{"member sets threads", []string{"-join", "x:1", "-node-id", "1", "-threads", "2"}, "coordinator's to set"},
 		{"member sets oracle", []string{"-join", "x:1", "-node-id", "1", "-oracle"}, "coordinator's to set"},
+		{"member sets metrics", []string{"-join", "x:1", "-node-id", "1", "-metrics", "m.json"}, "coordinator's to set"},
+		{"member sets report", []string{"-join", "x:1", "-node-id", "1", "-report"}, "coordinator's to set"},
+		{"member sets trace", []string{"-join", "x:1", "-node-id", "1", "-trace", "t.json"}, "coordinator's to set"},
+		{"bad metrics-top", []string{"-listen", ":0", "-metrics-top", "0"}, "-metrics-top must be"},
+		{"bad trace-limit", []string{"-listen", ":0", "-trace-limit", "-1"}, "-trace-limit must be"},
 		{"coordinator with node id", []string{"-listen", ":0", "-node-id", "2"}, "always node 0"},
 		{"zero nodes", []string{"-listen", ":0", "-nodes", "0"}, "0 nodes"},
 		{"zero threads", []string{"-listen", ":0", "-threads", "0"}, "threads per node"},
@@ -151,5 +164,165 @@ func TestMemberRejectedOnBadID(t *testing.T) {
 	}
 	if memberErr == nil || !strings.Contains(memberErr.Error(), "node id 5") {
 		t.Errorf("member error = %v, want node id rejection", memberErr)
+	}
+}
+
+// scrapeUntilLive polls a debug server until /healthz answers ok and
+// /metrics serves a report with observations, or the deadline passes.
+func scrapeUntilLive(t *testing.T, addr string, deadline time.Time) {
+	t.Helper()
+	client := &http.Client{Timeout: 2 * time.Second}
+	for time.Now().Before(deadline) {
+		ok := func() bool {
+			resp, err := client.Get("http://" + addr + "/healthz")
+			if err != nil {
+				return false
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				return false
+			}
+			resp, err = client.Get("http://" + addr + "/metrics")
+			if err != nil {
+				return false
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				return false
+			}
+			rep, err := metrics.ReadReport(body)
+			if err != nil {
+				t.Fatalf("%s/metrics served %d bytes that are not a report: %v", addr, len(body), err)
+			}
+			if rep.Real == nil || rep.Real.Backend != "tcp" {
+				t.Fatalf("%s/metrics report has no tcp Real section", addr)
+			}
+			var events int64
+			rep.Snapshot.EachHistogram(func(_, _ string, h *metrics.Histogram) { events += h.Count })
+			rep.Snapshot.EachCounter(func(_ string, c *metrics.Counter) { events += int64(*c) })
+			return events > 0
+		}()
+		if ok {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("debug server %s never served a non-trivial report", addr)
+}
+
+// TestClusterObservability drives a 2-node cluster with debug servers
+// on both nodes and the merged metrics report on the coordinator: both
+// /metrics endpoints must serve non-trivial wall-clock reports while
+// the processes linger, and the coordinator's written report must
+// carry the merged snapshot with a tcp Real section.
+func TestClusterObservability(t *testing.T) {
+	addr := freePort(t)
+	dbg0, dbg1 := freePort(t), freePort(t)
+	metricsPath := filepath.Join(t.TempDir(), "cluster.json")
+	var wg sync.WaitGroup
+	var outs [2]bytes.Buffer
+	var errs [2]error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs[0] = run([]string{"-listen", addr, "-nodes", "2",
+			"-app", "waternsq", "-size", "test", "-threads", "2",
+			"-timeout", "30s", "-quiet", "-debug-addr", dbg0, "-debug-linger", "5s",
+			"-metrics", metricsPath, "-report"}, &outs[0])
+	}()
+	go func() {
+		defer wg.Done()
+		errs[1] = run([]string{"-join", addr, "-node-id", "1", "-nodes", "2",
+			"-timeout", "30s", "-quiet", "-debug-addr", dbg1, "-debug-linger", "5s"}, &outs[1])
+	}()
+
+	deadline := time.Now().Add(25 * time.Second)
+	scrapeUntilLive(t, dbg0, deadline)
+	scrapeUntilLive(t, dbg1, deadline)
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v\noutput:\n%s", id, err, outs[id].String())
+		}
+	}
+
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := metrics.ReadReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Real == nil || rep.Real.Backend != "tcp" || rep.Real.Nodes != 2 {
+		t.Errorf("merged report Real section = %+v, want tcp/2 nodes", rep.Real)
+	}
+	// The merge must carry both nodes' observations: waternsq acquires
+	// locks from every node, so both per-node shards must be populated.
+	if len(rep.Snapshot.Nodes) != 2 {
+		t.Fatalf("merged snapshot has %d nodes, want 2", len(rep.Snapshot.Nodes))
+	}
+	for i := range rep.Snapshot.Nodes {
+		nm := &rep.Snapshot.Nodes[i]
+		if nm.Lock2Hop.Count+nm.LockLocalWait.Count == 0 {
+			t.Errorf("merged snapshot node %d has no lock observations (member merge lost?)", i)
+		}
+	}
+	if int64(rep.Snapshot.LockAcquires) == 0 || int64(rep.Snapshot.BarrierArrivals) == 0 {
+		t.Errorf("merged sync counters empty: acquires=%d arrivals=%d",
+			rep.Snapshot.LockAcquires, rep.Snapshot.BarrierArrivals)
+	}
+	if !strings.Contains(outs[0].String(), "real transport (tcp, 2 nodes, wall time)") {
+		t.Errorf("coordinator -report output missing real transport section:\n%s", outs[0].String())
+	}
+}
+
+// TestSignalAbortsCluster: SIGINT on the coordinator must fail both
+// processes promptly with attributed errors instead of hanging until
+// the timeout, and the failure must be loud about discarding results.
+func TestSignalAbortsCluster(t *testing.T) {
+	addr := freePort(t)
+	var wg sync.WaitGroup
+	var errs [2]error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		var out bytes.Buffer
+		// Node 2 never arrives: the coordinator blocks in the hello
+		// phase and the member blocks awaiting its welcome, until the
+		// interrupt severs their connections.
+		errs[0] = run([]string{"-listen", addr, "-nodes", "3",
+			"-app", "sor", "-size", "test",
+			"-timeout", "60s", "-quiet"}, &out)
+	}()
+	go func() {
+		defer wg.Done()
+		var out bytes.Buffer
+		errs[1] = run([]string{"-join", addr, "-node-id", "1", "-nodes", "3",
+			"-timeout", "60s", "-quiet"}, &out)
+	}()
+	time.Sleep(500 * time.Millisecond)
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("cluster still blocked 20s after SIGINT; interrupt does not sever connections")
+	}
+	for id, err := range errs {
+		if err == nil {
+			t.Errorf("node %d succeeded after SIGINT, want aborted error", id)
+		} else if !strings.Contains(err.Error(), "aborted by signal") {
+			t.Errorf("node %d error %q not attributed to the signal", id, err)
+		}
 	}
 }

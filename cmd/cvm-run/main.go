@@ -29,11 +29,12 @@
 // deterministic virtual-time simulator; "loopback" runs the same
 // application on the real runtime (internal/rt) over an in-process
 // channel transport in wall time. The loopback backend produces the
-// same checksum as the simulator but has no virtual-time machinery, so
-// it is incompatible with instrumentation (-trace, -metrics, -report,
-// -check), fault injection, -engine-workers, and thread sweeps; its
-// report is wall time plus real transport traffic. For multi-process
-// clusters over TCP, see cvm-node.
+// same checksum as the simulator, and it supports -trace, -metrics,
+// -metrics-csv and -report with wall-clock timestamps in place of
+// virtual time (compare the two with cvm-metrics diff-backends). It
+// has no virtual-time machinery beyond that: fault injection, -check,
+// -metrics-interval, -engine-workers and thread sweeps stay
+// simulator-only. For multi-process clusters over TCP, see cvm-node.
 package main
 
 import (
@@ -49,6 +50,7 @@ import (
 	"cvm/internal/apps"
 	"cvm/internal/check"
 	"cvm/internal/harness"
+	"cvm/internal/metrics"
 	"cvm/internal/netsim"
 	"cvm/internal/rt"
 	"cvm/internal/trace"
@@ -133,11 +135,15 @@ func run(args []string, out io.Writer) error {
 	switch *backend {
 	case "sim":
 	case "loopback":
-		// The real runtime has no virtual clock: nothing to trace or
-		// meter, no simulated faults to inject, no DES engine to
-		// parallelize. Reject the combinations rather than ignore them.
-		if *traceOut != "" || wantMetrics || *checkRun {
-			return fmt.Errorf("-transport loopback has no virtual-time instrumentation; drop -trace/-metrics/-metrics-csv/-report/-check")
+		// The real runtime meters and traces in wall time, but it has no
+		// simulated faults to inject, no DES engine to parallelize, no
+		// virtual-time invariant checker, and no utilization timeline.
+		// Reject those combinations rather than ignore them.
+		if *checkRun {
+			return fmt.Errorf("-check is the simulator's virtual-time invariant checker; drop it with -transport loopback")
+		}
+		if *metricsBin > 0 {
+			return fmt.Errorf("-metrics-interval shapes the simulator's virtual-time timeline; drop it with -transport loopback")
 		}
 		if fp != nil {
 			return fmt.Errorf("-transport loopback cannot inject simulated faults; drop -faults")
@@ -151,7 +157,13 @@ func run(args []string, out io.Writer) error {
 		if len(levels) != 1 {
 			return fmt.Errorf("-transport loopback needs a single -threads level, got %q", *threads)
 		}
-		return runLoopback(out, *appName, sz, *size, *nodes, levels[0])
+		return runLoopback(out, loopbackOpts{
+			app: *appName, size: sz, sizeName: *size,
+			nodes: *nodes, threads: levels[0],
+			traceOut: *traceOut, traceLimit: *traceLimit,
+			metricsOut: *metricsOut, metricsCSV: *metricsCSV,
+			report: *showReport, wantMetrics: wantMetrics, topN: *metricsTopN,
+		})
 	default:
 		return fmt.Errorf("-transport must be sim or loopback, got %q", *backend)
 	}
@@ -334,20 +346,53 @@ func runInstrumented(out io.Writer, o instrumentOpts) error {
 	return nil
 }
 
+// loopbackOpts parameterizes one real-runtime loopback run.
+type loopbackOpts struct {
+	app      string
+	size     apps.Size
+	sizeName string
+	nodes    int
+	threads  int
+
+	traceOut   string
+	traceLimit int
+
+	metricsOut  string
+	metricsCSV  string
+	report      bool
+	wantMetrics bool
+	topN        int
+}
+
 // runLoopback executes one run on the real runtime over the in-process
-// loopback transport and prints the reduced wall-time report. The
-// checksum still verifies against the sequential reference, and — by
-// the transport-equivalence guarantee (DESIGN.md §11) — equals the
-// simulator's bit for bit at the same configuration.
-func runLoopback(out io.Writer, appName string, sz apps.Size, sizeName string, nodes, threads int) error {
-	app, err := apps.New(appName, sz)
+// loopback transport and prints the wall-time report. The checksum
+// still verifies against the sequential reference, and — by the
+// transport-equivalence guarantee (DESIGN.md §11) — equals the
+// simulator's bit for bit at the same configuration. With -metrics or
+// -report the run collects the wall-clock protocol metrics into the
+// simulator's report shape (plus a "real transport" section), so the
+// two backends' profiles are directly comparable — see
+// cvm-metrics diff-backends.
+func runLoopback(out io.Writer, o loopbackOpts) error {
+	app, err := apps.New(o.app, o.size)
 	if err != nil {
 		return err
 	}
-	if !app.SupportsThreads(threads) {
-		return fmt.Errorf("%s does not support %d threads per node", appName, threads)
+	if !app.SupportsThreads(o.threads) {
+		return fmt.Errorf("%s does not support %d threads per node", o.app, o.threads)
 	}
-	cl, err := rt.NewCluster(rt.DefaultConfig(nodes, threads))
+	cfg := rt.DefaultConfig(o.nodes, o.threads)
+	var met *rt.Metrics
+	if o.wantMetrics {
+		met = rt.NewMetrics()
+		cfg.Metrics = met
+	}
+	var rec *trace.Recorder
+	if o.traceOut != "" {
+		rec = trace.NewRecorder(o.nodes, o.threads, o.traceLimit)
+		cfg.Tracer = rec
+	}
+	cl, err := rt.NewCluster(cfg)
 	if err != nil {
 		return err
 	}
@@ -362,7 +407,7 @@ func runLoopback(out io.Writer, appName string, sz apps.Size, sizeName string, n
 		return err
 	}
 	fmt.Fprintf(out, "%s on %d nodes x %d threads (%s input) over loopback: result verified against sequential reference\n\n",
-		appName, nodes, threads, sizeName)
+		o.app, o.nodes, o.threads, o.sizeName)
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "wall time\t%v\n", res.Elapsed)
 	fmt.Fprintf(tw, "checksum\t%v\n", app.Checksum())
@@ -371,7 +416,46 @@ func runLoopback(out io.Writer, appName string, sz apps.Size, sizeName string, n
 		res.Net.Msgs[transport.ClassDiff])
 	fmt.Fprintf(tw, "total messages\t%d\n", res.Net.TotalMsgs())
 	fmt.Fprintf(tw, "bandwidth\t%d KB\n", res.Net.TotalBytes()/1024)
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if rec != nil {
+		if err := writeFileWith(o.traceOut, func(w io.Writer) error {
+			return trace.WriteChrome(w, rec)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %d trace events to %s (load at ui.perfetto.dev)\n", rec.Len(), o.traceOut)
+	}
+
+	if met == nil {
+		return nil
+	}
+	rep := metrics.NewReport(metrics.Meta{
+		App:    o.app,
+		Config: fmt.Sprintf("%dx%d size=%s", o.nodes, o.threads, o.sizeName),
+	}, met.Snapshot(), o.topN)
+	rep.Real = rt.RealStats("loopback", o.nodes, res.Elapsed, res.Net)
+	if o.report {
+		fmt.Fprintln(out)
+		if err := rep.WriteText(out); err != nil {
+			return err
+		}
+	}
+	if o.metricsOut != "" {
+		if err := writeFileWith(o.metricsOut, rep.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote metrics report to %s\n", o.metricsOut)
+	}
+	if o.metricsCSV != "" {
+		if err := writeFileWith(o.metricsCSV, rep.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote metrics CSV to %s\n", o.metricsCSV)
+	}
+	return nil
 }
 
 // writeFileWith creates path and streams write into it.

@@ -38,10 +38,8 @@ func TestFlagValidation(t *testing.T) {
 		{"unknown fault item", []string{"-faults", "frobnicate=1"}, "frobnicate"},
 		{"seed without faults", []string{"-fault-seed", "7"}, "-fault-seed needs -faults"},
 		{"unknown transport", []string{"-transport", "carrier-pigeon"}, "-transport must be sim or loopback"},
-		{"loopback with trace", []string{"-transport", "loopback", "-trace", "x.json"}, "no virtual-time instrumentation"},
-		{"loopback with metrics", []string{"-transport", "loopback", "-metrics", "x.json"}, "no virtual-time instrumentation"},
-		{"loopback with report", []string{"-transport", "loopback", "-report"}, "no virtual-time instrumentation"},
-		{"loopback with check", []string{"-transport", "loopback", "-check"}, "no virtual-time instrumentation"},
+		{"loopback with check", []string{"-transport", "loopback", "-check"}, "virtual-time invariant checker"},
+		{"loopback with metrics interval", []string{"-transport", "loopback", "-metrics-interval", "1ms"}, "virtual-time timeline"},
 		{"loopback with faults", []string{"-transport", "loopback", "-faults", "drop=0.01"}, "cannot inject simulated faults"},
 		{"loopback with engine workers", []string{"-transport", "loopback", "-engine-workers", "2"}, "-engine-workers tunes the simulator"},
 		{"loopback with compress-diffs", []string{"-transport", "loopback", "-compress-diffs"}, "-compress-diffs tunes the simulator"},
@@ -160,6 +158,47 @@ func TestLoopbackTransportRun(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "steady-state wall time") {
 		t.Errorf("loopback report leaked the simulator's report:\n%s", out.String())
+	}
+}
+
+// TestLoopbackInstrumentedRun drives the wall-clock observability path
+// end to end: -metrics and -trace on the loopback backend must write a
+// report stamped with the real-backend section (so diff-backends can
+// tell the two apart) and a non-empty Chrome trace.
+func TestLoopbackInstrumentedRun(t *testing.T) {
+	dir := t.TempDir()
+	metPath := filepath.Join(dir, "real.json")
+	tracePath := filepath.Join(dir, "real_trace.json")
+	var out bytes.Buffer
+	err := run([]string{"-app", "waternsq", "-nodes", "4", "-threads", "2", "-size", "test",
+		"-transport", "loopback", "-metrics", metPath, "-trace", tracePath, "-report"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(metPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := metrics.ReadReport(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Real == nil || rep.Real.Backend != "loopback" || rep.Real.Nodes != 4 {
+		t.Fatalf("loopback report real section = %+v, want backend loopback on 4 nodes", rep.Real)
+	}
+	if rep.Snapshot.LockAcquires == 0 || rep.Snapshot.BarrierArrivals == 0 {
+		t.Errorf("loopback report has zero sync counters: acquires=%d arrivals=%d",
+			rep.Snapshot.LockAcquires, rep.Snapshot.BarrierArrivals)
+	}
+	tr, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(tr, []byte("traceEvents")) {
+		t.Errorf("loopback trace is not a Chrome trace: %.100s", tr)
+	}
+	if !strings.Contains(out.String(), "real transport (loopback") {
+		t.Errorf("-report did not render the real-backend section:\n%s", out.String())
 	}
 }
 

@@ -36,7 +36,7 @@ func TestEngineWorkersUnderChaos(t *testing.T) {
 			}
 			if res.Stats.Wall != first.Stats.Wall ||
 				res.Stats.Total != first.Stats.Total ||
-				res.Stats.Net != first.Stats.Net {
+				!res.Stats.Net.Equal(first.Stats.Net) {
 				t.Errorf("%s: windowed stats diverge from workers=%d", ctx, 1)
 			}
 		}

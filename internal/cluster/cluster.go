@@ -30,15 +30,19 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"cvm/internal/apps"
+	"cvm/internal/metrics"
 	"cvm/internal/rt"
+	"cvm/internal/trace"
 	"cvm/internal/transport"
 )
 
 // protoVersion guards against mixed cvm-node builds in one cluster.
-const protoVersion = 1
+// Version 2 added the metrics snapshot to the result message.
+const protoVersion = 2
 
 // Spec is the run configuration the coordinator distributes; members
 // take everything but their identity from it.
@@ -87,6 +91,28 @@ type Options struct {
 	Timeout time.Duration
 	// Log, when non-nil, receives one-line progress messages.
 	Log io.Writer
+	// Interrupt, when non-nil, aborts the run when it fires (cvm-node
+	// wires SIGINT/SIGTERM here): every control and data connection
+	// this node holds is closed, so each blocked step — local and on
+	// every peer — fails promptly with an attributed error instead of
+	// leaving the cluster hung.
+	Interrupt <-chan struct{}
+	// Tracer, when non-nil, receives this node's wall-timestamped
+	// protocol events (rt.Config.Tracer).
+	Tracer trace.Tracer
+	// Started, when non-nil, is called once the data mesh is formed and
+	// the application is built, just before the run begins. The cvm-node
+	// debug server uses it to attach its live introspection sources.
+	Started func(RunInfo)
+}
+
+// RunInfo hands a started node's live objects to Options.Started.
+type RunInfo struct {
+	Node    int
+	Spec    Spec
+	Cluster *rt.Cluster
+	Conn    transport.Conn
+	Metrics *rt.Metrics
 }
 
 func (o *Options) withDefaults() Options {
@@ -105,11 +131,15 @@ func (o *Options) withDefaults() Options {
 
 // Outcome is what a node knows at the end of a run. Checksum is the
 // global checksum (computed on the coordinator, distributed in done);
-// Net counts this node's own data traffic.
+// Net counts this node's own data traffic. Metrics is the node's own
+// wall-clock snapshot on a member; on the coordinator it is every
+// node's snapshot merged in node order (deterministic for a given set
+// of member snapshots).
 type Outcome struct {
 	Checksum float64
 	Elapsed  time.Duration
 	Net      transport.Stats
+	Metrics  *metrics.Snapshot
 }
 
 // ctrlMsg is the single wire shape of every control message; Type
@@ -129,6 +159,9 @@ type ctrlMsg struct {
 	ElapsedMS int64    `json:"elapsedMs,omitempty"`
 	Msgs      int64    `json:"msgs,omitempty"`
 	Bytes     int64    `json:"bytes,omitempty"`
+	// Metrics carries a member's wall-clock metrics snapshot in the
+	// result message (proto 2), opaque to the framing layer.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
 // ctrlConn frames ctrlMsgs over one TCP connection with per-step
@@ -171,8 +204,10 @@ func (cc *ctrlConn) recv(wantType string) (ctrlMsg, error) {
 
 // buildApp constructs the application and the real-execution cluster a
 // node runs; every node builds both identically from the spec, so the
-// shared address space lays out the same everywhere.
-func buildApp(spec Spec) (apps.App, *rt.Cluster, error) {
+// shared address space lays out the same everywhere. met is always
+// attached: cluster runs collect wall-clock metrics unconditionally so
+// the coordinator can merge and report them.
+func buildApp(spec Spec, met *rt.Metrics, tracer trace.Tracer) (apps.App, *rt.Cluster, error) {
 	size, err := apps.ParseSize(spec.Size)
 	if err != nil {
 		return nil, nil, err
@@ -185,6 +220,8 @@ func buildApp(spec Spec) (apps.App, *rt.Cluster, error) {
 		Nodes:          spec.Nodes,
 		ThreadsPerNode: spec.Threads,
 		PageSize:       spec.Page,
+		Metrics:        met,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -193,6 +230,66 @@ func buildApp(spec Spec) (apps.App, *rt.Cluster, error) {
 		return nil, nil, err
 	}
 	return app, cl, nil
+}
+
+// closers collects the connections an interrupt must sever. Adding
+// after the trigger fired closes immediately, so a connection created
+// while the interrupt raced is still torn down.
+type closers struct {
+	mu    sync.Mutex
+	fired bool
+	list  []io.Closer
+}
+
+func (cl *closers) add(c io.Closer) {
+	cl.mu.Lock()
+	fired := cl.fired
+	if !fired {
+		cl.list = append(cl.list, c)
+	}
+	cl.mu.Unlock()
+	if fired {
+		c.Close()
+	}
+}
+
+func (cl *closers) fire() {
+	cl.mu.Lock()
+	list := cl.list
+	cl.list = nil
+	cl.fired = true
+	cl.mu.Unlock()
+	for _, c := range list {
+		c.Close()
+	}
+}
+
+// watchInterrupt severs every registered connection when interrupt
+// fires; stop (closed when the run ends normally) retires the watcher.
+func watchInterrupt(interrupt, stop <-chan struct{}, cl *closers) {
+	if interrupt == nil {
+		return
+	}
+	go func() {
+		select {
+		case <-interrupt:
+			cl.fire()
+		case <-stop:
+		}
+	}()
+}
+
+// decodeMemberMetrics parses the snapshot a member shipped in its
+// result message.
+func decodeMemberMetrics(node int, raw json.RawMessage) (*metrics.Snapshot, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("cluster: node %d: result carried no metrics", node)
+	}
+	var s metrics.Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("cluster: node %d: bad metrics payload: %w", node, err)
+	}
+	return &s, nil
 }
 
 // Coordinate runs node 0: it accepts Nodes-1 members on listen,
@@ -214,6 +311,12 @@ func Coordinate(listen string, spec Spec, opts Options) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
+	var sever closers
+	stop := make(chan struct{})
+	defer close(stop)
+	watchInterrupt(o.Interrupt, stop, &sever)
+	sever.add(ln)
+	sever.add(dataLn)
 	fmt.Fprintf(o.Log, "coordinator: control on %s, data on %s, waiting for %d members\n",
 		ln.Addr(), dataLn.Addr(), spec.Nodes-1)
 
@@ -268,6 +371,7 @@ func Coordinate(listen string, spec Spec, opts Options) (Outcome, error) {
 		}
 		members[hello.Node] = cc
 		dataAddrs[hello.Node] = hello.DataAddr
+		sever.add(c)
 		fmt.Fprintf(o.Log, "coordinator: node %d joined from %s (data %s)\n",
 			hello.Node, c.RemoteAddr(), hello.DataAddr)
 	}
@@ -291,8 +395,10 @@ func Coordinate(listen string, spec Spec, opts Options) (Outcome, error) {
 		return abort(err)
 	}
 	defer conn.Close()
+	sever.add(conn)
 
-	app, cl, err := buildApp(spec)
+	met := rt.NewMetrics()
+	app, cl, err := buildApp(spec, met, o.Tracer)
 	if err != nil {
 		return abort(err)
 	}
@@ -308,15 +414,21 @@ func Coordinate(listen string, spec Spec, opts Options) (Outcome, error) {
 	}
 	fmt.Fprintf(o.Log, "coordinator: mesh up, %d nodes x %d threads running %s/%s\n",
 		spec.Nodes, spec.Threads, spec.App, spec.Size)
+	if o.Started != nil {
+		o.Started(RunInfo{Node: 0, Spec: spec, Cluster: cl, Conn: conn, Metrics: met})
+	}
 
 	res, runErr := cl.RunNode(conn, app.Main)
 
 	// Result collection: every member reports, run error or not, so a
-	// one-node failure is attributed rather than a hang.
+	// one-node failure is attributed rather than a hang. Member metrics
+	// snapshots merge into the coordinator's own in node order, so the
+	// merged snapshot is deterministic for a given set of member results.
 	var firstErr error
 	if runErr != nil {
 		firstErr = fmt.Errorf("cluster: node 0: %w", runErr)
 	}
+	merged := met.Snapshot()
 	for id, m := range members[1:] {
 		r, err := m.recv("result")
 		if err != nil {
@@ -326,7 +438,13 @@ func Coordinate(listen string, spec Spec, opts Options) (Outcome, error) {
 		} else {
 			fmt.Fprintf(o.Log, "coordinator: node %d done in %v (%d msgs, %d KB)\n",
 				id+1, time.Duration(r.ElapsedMS)*time.Millisecond, r.Msgs, r.Bytes/1024)
-			continue
+			ms, merr := decodeMemberMetrics(id+1, r.Metrics)
+			if merr != nil {
+				err = merr
+			} else {
+				merged.Merge(ms)
+				continue
+			}
 		}
 		if firstErr == nil {
 			firstErr = err
@@ -338,7 +456,7 @@ func Coordinate(listen string, spec Spec, opts Options) (Outcome, error) {
 		}
 	}
 
-	out := Outcome{Checksum: app.Checksum(), Elapsed: res.Elapsed, Net: res.Net}
+	out := Outcome{Checksum: app.Checksum(), Elapsed: res.Elapsed, Net: res.Net, Metrics: merged}
 	verdict := ctrlMsg{Type: "done", OK: firstErr == nil, Checksum: out.Checksum}
 	if firstErr != nil {
 		verdict.Err = firstErr.Error()
@@ -366,11 +484,17 @@ func Join(coord string, nodeID, nodes int, opts Options) (Outcome, error) {
 	}
 	defer c.Close()
 	cc := newCtrlConn(c, o.Timeout)
+	var sever closers
+	stop := make(chan struct{})
+	defer close(stop)
+	watchInterrupt(o.Interrupt, stop, &sever)
+	sever.add(c)
 
 	dataLn, err := transport.ListenTCP(transport.NodeID(nodeID), o.DataAddr)
 	if err != nil {
 		return Outcome{}, err
 	}
+	sever.add(dataLn)
 	fmt.Fprintf(o.Log, "node %d: joined %s, data on %s\n", nodeID, coord, dataLn.Addr())
 	if err := cc.send(ctrlMsg{Type: "hello", Proto: protoVersion, Node: nodeID,
 		Nodes: nodes, DataAddr: dataLn.Addr()}); err != nil {
@@ -397,7 +521,9 @@ func Join(coord string, nodeID, nodes int, opts Options) (Outcome, error) {
 		return Outcome{}, err
 	}
 	defer conn.Close()
-	app, cl, err := buildApp(spec)
+	sever.add(conn)
+	met := rt.NewMetrics()
+	app, cl, err := buildApp(spec, met, o.Tracer)
 	if err != nil {
 		cc.send(ctrlMsg{Type: "result", Node: nodeID, OK: false, Err: err.Error()})
 		return Outcome{}, err
@@ -410,11 +536,18 @@ func Join(coord string, nodeID, nodes int, opts Options) (Outcome, error) {
 	}
 	fmt.Fprintf(o.Log, "node %d: running %s/%s on %d nodes x %d threads\n",
 		nodeID, spec.App, spec.Size, spec.Nodes, spec.Threads)
+	if o.Started != nil {
+		o.Started(RunInfo{Node: nodeID, Spec: spec, Cluster: cl, Conn: conn, Metrics: met})
+	}
 
 	res, runErr := cl.RunNode(conn, app.Main)
+	snap := met.Snapshot()
 	result := ctrlMsg{Type: "result", Node: nodeID, OK: runErr == nil,
 		ElapsedMS: res.Elapsed.Milliseconds(),
 		Msgs:      res.Net.TotalMsgs(), Bytes: res.Net.TotalBytes()}
+	if raw, merr := json.Marshal(snap); merr == nil {
+		result.Metrics = raw
+	}
 	if runErr != nil {
 		result.Err = runErr.Error()
 	}
@@ -431,7 +564,7 @@ func Join(coord string, nodeID, nodes int, opts Options) (Outcome, error) {
 		}
 		return Outcome{}, err
 	}
-	out := Outcome{Checksum: done.Checksum, Elapsed: res.Elapsed, Net: res.Net}
+	out := Outcome{Checksum: done.Checksum, Elapsed: res.Elapsed, Net: res.Net, Metrics: snap}
 	if !done.OK {
 		return out, fmt.Errorf("cluster: run failed: %s", done.Err)
 	}

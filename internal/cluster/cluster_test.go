@@ -9,6 +9,8 @@ import (
 
 	"cvm"
 	"cvm/internal/apps"
+	"cvm/internal/rt"
+	"cvm/internal/transport"
 )
 
 func TestSpecValidate(t *testing.T) {
@@ -150,4 +152,159 @@ func TestJoinValidatesNodeID(t *testing.T) {
 		!strings.Contains(err.Error(), "node id 0") {
 		t.Errorf("Join with id 0 = %v, want node id error", err)
 	}
+}
+
+// fakeMember joins a cluster as node id and follows the protocol up to
+// (and including) the data mesh, then hands control to the test to
+// deviate: the failure-path tests use it to die, stall, or corrupt the
+// stream at a chosen step.
+type fakeMember struct {
+	t      *testing.T
+	cc     *ctrlConn
+	raw    net.Conn
+	dataLn *transport.TCPListener
+	conn   transport.Conn
+	spec   Spec
+}
+
+func joinFake(t *testing.T, coord string, id int) *fakeMember {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	c, err := dialControl(coord, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataLn, err := transport.ListenTCP(transport.NodeID(id), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := newCtrlConn(c, 10*time.Second)
+	if err := cc.send(ctrlMsg{Type: "hello", Proto: protoVersion, Node: id, DataAddr: dataLn.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	welcome, err := cc.recv("welcome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := dataLn.Mesh(welcome.DataAddrs, time.Until(deadline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := &fakeMember{t: t, cc: cc, raw: c, dataLn: dataLn, conn: conn, spec: *welcome.Spec}
+	t.Cleanup(fm.close)
+	return fm
+}
+
+func (fm *fakeMember) close() {
+	fm.raw.Close()
+	fm.conn.Close()
+	fm.dataLn.Close()
+}
+
+// runApp plays the member's part of the DSM run so the coordinator's
+// own RunNode completes and the failure can be injected afterwards.
+func (fm *fakeMember) runApp() {
+	fm.t.Helper()
+	app, cl, err := buildApp(fm.spec, rt.NewMetrics(), nil)
+	if err != nil {
+		fm.t.Fatal(err)
+	}
+	if _, err := cl.RunNode(fm.conn, app.Main); err != nil {
+		fm.t.Fatal(err)
+	}
+}
+
+func coordinateAsync(t *testing.T, addr string, spec Spec, timeout time.Duration) <-chan error {
+	t.Helper()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := Coordinate(addr, spec, Options{Timeout: timeout})
+		errCh <- err
+	}()
+	return errCh
+}
+
+func wantCoordErr(t *testing.T, errCh <-chan error, wait time.Duration, fragments ...string) {
+	t.Helper()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatalf("coordinator succeeded, want error mentioning %q", fragments)
+		}
+		for _, frag := range fragments {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("coordinator error %q does not mention %q", err, frag)
+			}
+		}
+	case <-time.After(wait):
+		t.Fatal("coordinator still blocked; failure path hangs instead of failing")
+	}
+}
+
+// TestCoordinatorStepDeadline: a member that meshes but never sends
+// ready must trip the coordinator's per-step deadline with the failing
+// node named, not hang the cluster.
+func TestCoordinatorStepDeadline(t *testing.T) {
+	addr := freePort(t)
+	spec := Spec{App: "sor", Size: "test", Nodes: 2, Threads: 1, Page: 4096}
+	errCh := coordinateAsync(t, addr, spec, 2*time.Second)
+	fm := joinFake(t, addr, 1)
+	_ = fm // meshed, then silent: never sends ready
+	wantCoordErr(t, errCh, 15*time.Second, "node 1", "ready")
+}
+
+// TestCoordinatorMalformedResult: a member that runs the app but then
+// corrupts its result line must fail the run with the node named.
+func TestCoordinatorMalformedResult(t *testing.T) {
+	addr := freePort(t)
+	spec := Spec{App: "sor", Size: "test", Nodes: 2, Threads: 1, Page: 4096}
+	errCh := coordinateAsync(t, addr, spec, 10*time.Second)
+	fm := joinFake(t, addr, 1)
+	if err := fm.cc.send(ctrlMsg{Type: "ready", Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fm.cc.recv("go"); err != nil {
+		t.Fatal(err)
+	}
+	fm.runApp()
+	if _, err := fm.raw.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	wantCoordErr(t, errCh, 30*time.Second, "node 1")
+}
+
+// TestCoordinatorResultWithoutMetrics: a proto-2 result must carry the
+// member's metrics snapshot; its absence is attributed, not ignored.
+func TestCoordinatorResultWithoutMetrics(t *testing.T) {
+	addr := freePort(t)
+	spec := Spec{App: "sor", Size: "test", Nodes: 2, Threads: 1, Page: 4096}
+	errCh := coordinateAsync(t, addr, spec, 10*time.Second)
+	fm := joinFake(t, addr, 1)
+	if err := fm.cc.send(ctrlMsg{Type: "ready", Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fm.cc.recv("go"); err != nil {
+		t.Fatal(err)
+	}
+	fm.runApp()
+	if err := fm.cc.send(ctrlMsg{Type: "result", Node: 1, OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	wantCoordErr(t, errCh, 30*time.Second, "node 1", "no metrics")
+}
+
+// TestCoordinatorMemberDiesBeforeGo: a member that vanishes between
+// ready and go must surface as an attributed failure — its death tears
+// down the data mesh, so the error names the dead peer one way or
+// another.
+func TestCoordinatorMemberDiesBeforeGo(t *testing.T) {
+	addr := freePort(t)
+	spec := Spec{App: "sor", Size: "test", Nodes: 2, Threads: 1, Page: 4096}
+	errCh := coordinateAsync(t, addr, spec, 5*time.Second)
+	fm := joinFake(t, addr, 1)
+	if err := fm.cc.send(ctrlMsg{Type: "ready", Node: 1}); err != nil {
+		t.Fatal(err)
+	}
+	fm.close()
+	wantCoordErr(t, errCh, 30*time.Second, "node 1")
 }

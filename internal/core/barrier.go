@@ -40,6 +40,9 @@ func (t *Thread) Barrier(id int) {
 	n := t.node
 	b := n.barrierAt(id)
 	b.arrived++
+	if m := t.sys.met; m != nil {
+		m.CountBarrierArrive(n.id)
+	}
 	a0 := t.task.Now() // arrival instant, for the BarrierStall metric
 	if tr := t.sys.tracer; tr != nil {
 		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindBarrierArrive,
@@ -169,6 +172,9 @@ func (t *Thread) LocalBarrier(id int) {
 	key := localBarrierKeyBase + id
 	b := n.barrierAt(key)
 	b.arrived++
+	if m := t.sys.met; m != nil {
+		m.CountLocalBarrierArrive(n.id)
+	}
 	a0 := t.task.Now()
 	if tr := t.sys.tracer; tr != nil {
 		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindBarrierArrive,

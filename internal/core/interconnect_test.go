@@ -103,7 +103,7 @@ func TestInterconnectIdenticalThroughWrapper(t *testing.T) {
 	if direct.Wall != wrapped.Wall {
 		t.Errorf("wall time changed through wrapper: %v vs %v", direct.Wall, wrapped.Wall)
 	}
-	if direct.Net != wrapped.Net {
+	if !direct.Net.Equal(wrapped.Net) {
 		t.Errorf("traffic changed through wrapper: %+v vs %+v", direct.Net, wrapped.Net)
 	}
 }

@@ -59,6 +59,9 @@ func (t *Thread) Lock(id int) {
 	n := t.node
 	l := n.lockAt(id)
 	cfg := &t.sys.cfg
+	if m := t.sys.met; m != nil {
+		m.CountLockAcquire(n.id)
+	}
 
 	switch {
 	case l.token && l.heldBy == nil && !l.requested:
@@ -243,6 +246,9 @@ func (t *Thread) Unlock(id int) {
 	l := n.lockAt(id)
 	if l.heldBy != t {
 		panic("core: Unlock of lock not held by this thread")
+	}
+	if m := t.sys.met; m != nil {
+		m.CountLockRelease(n.id)
 	}
 	n.closeInterval(t)
 	t.task.Advance(t.sys.cfg.LockLocalCost)

@@ -55,6 +55,9 @@ type reduceEpisode struct {
 // hand-roll reductions with locks or local barriers instead.)
 func (t *Thread) ReduceF64(id int, v float64, op ReduceOp) float64 {
 	n := t.node
+	if m := t.sys.met; m != nil {
+		m.CountReduce(n.id)
+	}
 	r := n.reduces[id]
 	if r == nil {
 		if n.reduces == nil {

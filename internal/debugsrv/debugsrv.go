@@ -1,0 +1,148 @@
+// Package debugsrv is the live-introspection HTTP server a cvm-node
+// process exposes on -debug-addr: /healthz for liveness probes,
+// /status for a JSON view of the node's epoch, thread states and peer
+// traffic, /metrics for the wall-clock metrics report (JSON by
+// default, Prometheus text with ?format=prom), and the standard
+// net/http/pprof handlers under /debug/pprof/ for profiling a live
+// run. It is read-only: nothing it serves mutates the node.
+package debugsrv
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"cvm/internal/metrics"
+)
+
+// Sources supplies the live data the endpoints render. Both callbacks
+// must be safe to call concurrently with the run (the rt metrics and
+// status paths are).
+type Sources struct {
+	// Status returns the value /status serves as JSON.
+	Status func() any
+	// Report returns the current metrics report for /metrics. A nil
+	// report (metrics not wired) yields 503.
+	Report func() *metrics.Report
+}
+
+// Server is a running debug server.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+	done chan struct{}
+}
+
+// Start binds addr and serves the debug endpoints until Shutdown.
+func Start(addr string, src Sources) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugsrv: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if src.Status == nil {
+			http.Error(w, "status source not wired", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, src.Status())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if src.Report == nil {
+			http.Error(w, "metrics source not wired", http.StatusServiceUnavailable)
+			return
+		}
+		rep := src.Report()
+		if rep == nil {
+			http.Error(w, "metrics not collected yet", http.StatusServiceUnavailable)
+			return
+		}
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			writeProm(w, rep)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		rep.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln:   ln,
+		http: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.http.Serve(ln) // returns on Shutdown/Close
+	}()
+	return s, nil
+}
+
+// Addr reports the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown drains in-flight requests, waiting at most timeout before
+// closing connections outright.
+func (s *Server) Shutdown(timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	s.http.Shutdown(ctx)
+	s.http.Close()
+	<-s.done
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
+// writeProm renders the report's snapshot in the Prometheus text
+// exposition format: every top-level counter as cvm_<name>, every
+// histogram as cvm_<name>_count / cvm_<name>_sum_ns with the snapshot
+// scope ("total", "node3", "net:Lock") as a label.
+func writeProm(w http.ResponseWriter, rep *metrics.Report) {
+	snap := rep.Snapshot
+	snap.EachCounter(func(name string, c *metrics.Counter) {
+		fmt.Fprintf(w, "# TYPE cvm_%s counter\n", name)
+		fmt.Fprintf(w, "cvm_%s %d\n", name, int64(*c))
+	})
+	type hrow struct {
+		name, scope string
+		h           *metrics.Histogram
+	}
+	var rows []hrow
+	snap.EachHistogram(func(scope, name string, h *metrics.Histogram) {
+		rows = append(rows, hrow{name, scope, h})
+	})
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	last := ""
+	for _, r := range rows {
+		if r.name != last {
+			fmt.Fprintf(w, "# TYPE cvm_%s_count counter\n", r.name)
+			last = r.name
+		}
+		lbl := fmt.Sprintf("{scope=%q}", strings.ReplaceAll(r.scope, `"`, ""))
+		fmt.Fprintf(w, "cvm_%s_count%s %d\n", r.name, lbl, r.h.Count)
+		fmt.Fprintf(w, "cvm_%s_sum_ns%s %d\n", r.name, lbl, r.h.Sum)
+	}
+}

@@ -1,0 +1,125 @@
+package debugsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cvm/internal/metrics"
+)
+
+func testReport() *metrics.Report {
+	snap := &metrics.Snapshot{Nodes: make([]metrics.NodeMetrics, 2)}
+	snap.LockAcquires.Add(7)
+	snap.Nodes[1].FaultService.Observe(1000)
+	return metrics.NewReport(metrics.Meta{App: "sor", Config: "2x1 size=test"}, snap, 10)
+}
+
+func startTestServer(t *testing.T, src Sources) *Server {
+	t.Helper()
+	srv, err := Start("127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Shutdown(time.Second) })
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	srv := startTestServer(t, Sources{
+		Status: func() any { return map[string]any{"state": "running", "node": 1} },
+		Report: func() *metrics.Report { return testReport() },
+	})
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+
+	code, body := get(t, base+"/status")
+	if code != 200 {
+		t.Fatalf("/status = %d: %s", code, body)
+	}
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status not JSON: %v", err)
+	}
+	if st["state"] != "running" {
+		t.Errorf("/status state = %v, want running", st["state"])
+	}
+
+	code, body = get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d: %s", code, body)
+	}
+	rep, err := metrics.ReadReport([]byte(body))
+	if err != nil {
+		t.Fatalf("/metrics not a report: %v", err)
+	}
+	if rep.Meta.App != "sor" || int64(rep.Snapshot.LockAcquires) != 7 {
+		t.Errorf("/metrics round-trip lost data: %+v", rep.Meta)
+	}
+
+	code, body = get(t, base+"/metrics?format=prom")
+	if code != 200 {
+		t.Fatalf("/metrics?format=prom = %d", code)
+	}
+	for _, want := range []string{
+		"cvm_lock_acquires 7",
+		`cvm_fault_service_count{scope="node1"} 1`,
+		`cvm_fault_service_sum_ns{scope="node1"} 1000`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prom output missing %q:\n%s", want, body)
+		}
+	}
+
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d, want 200", code)
+	}
+}
+
+func TestUnwiredSourcesReturn503(t *testing.T) {
+	srv := startTestServer(t, Sources{
+		Status: func() any { return nil },
+		Report: func() *metrics.Report { return nil },
+	})
+	base := "http://" + srv.Addr()
+	if code, _ := get(t, base+"/metrics"); code != http.StatusServiceUnavailable {
+		t.Errorf("/metrics with nil report = %d, want 503", code)
+	}
+	srv2 := startTestServer(t, Sources{})
+	base2 := "http://" + srv2.Addr()
+	for _, ep := range []string{"/status", "/metrics"} {
+		if code, _ := get(t, base2+ep); code != http.StatusServiceUnavailable {
+			t.Errorf("%s with no sources = %d, want 503", ep, code)
+		}
+	}
+}
+
+func TestShutdownStopsServing(t *testing.T) {
+	srv := startTestServer(t, Sources{})
+	addr := srv.Addr()
+	srv.Shutdown(time.Second)
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Error("server still answering after Shutdown")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"cvm"
 	"cvm/internal/apps"
+	"cvm/internal/metrics"
 	"cvm/internal/rt"
 )
 
@@ -19,13 +20,18 @@ import (
 // message timing, and a checksum difference is a coherence bug, not
 // floating-point noise.
 //
-// Only the checksum is compared. Virtual-time statistics (wall time,
-// wait breakdowns, message counts) are exempt by design: the simulator
-// charges the paper's calibrated costs in deterministic virtual time,
-// while the real runtime pays actual wall time under a different (home-
-// based, eager) protocol — their timings and message counts measure
-// different machines and are not comparable. The checksum is the one
-// observable both engines must agree on. See DESIGN.md §11.
+// Two observables are compared. First the checksum. Second, the
+// backend-invariant sync counters (lock acquires/releases, barrier and
+// local-barrier arrivals, reductions; metrics.BackendInvariantCounters):
+// each is incremented exactly once per application-level call, so the
+// program — not the protocol — determines them and they must match
+// exactly across backends. Everything else (wall time, wait
+// breakdowns, fault and message counts) is exempt by design: the
+// simulator charges the paper's calibrated costs in deterministic
+// virtual time under a lazy protocol, while the real runtime pays
+// actual wall time under a home-based eager one — those numbers
+// measure different machines and are not comparable. See DESIGN.md
+// §11 and §13.
 
 // TransportProbe captures one backend's run of an application.
 type TransportProbe struct {
@@ -34,9 +40,10 @@ type TransportProbe struct {
 }
 
 // GuardTransportEquivalence runs app at the given shape on both the
-// simulator and the rt-loopback backend and returns an error unless the
-// checksums match exactly (both runs must also verify against the
-// app's sequential reference). A nil error is the conformance verdict.
+// simulator and the rt-loopback backend and returns an error unless
+// the checksums match exactly (both runs must also verify against the
+// app's sequential reference) and every backend-invariant sync counter
+// agrees. A nil error is the conformance verdict.
 func GuardTransportEquivalence(app string, size apps.Size, nodes, threads int) error {
 	a, err := apps.New(app, size)
 	if err != nil {
@@ -46,12 +53,15 @@ func GuardTransportEquivalence(app string, size apps.Size, nodes, threads int) e
 		return fmt.Errorf("harness: %s does not support %d threads per node", app, threads)
 	}
 
-	_, simSum, err := apps.RunConfigFull(app, size, cvm.DefaultConfig(nodes, threads), 0)
+	reg := cvm.NewMetrics()
+	cfg := cvm.DefaultConfig(nodes, threads)
+	cfg.Metrics = reg
+	_, simSum, err := apps.RunConfigFull(app, size, cfg, 0)
 	if err != nil {
 		return fmt.Errorf("harness: sim backend: %w", err)
 	}
 
-	rtSum, err := runLoopbackProbe(app, size, nodes, threads)
+	rtSum, rtSnap, err := runLoopbackProbe(app, size, nodes, threads)
 	if err != nil {
 		return err
 	}
@@ -59,29 +69,56 @@ func GuardTransportEquivalence(app string, size apps.Size, nodes, threads int) e
 		return fmt.Errorf("harness: transport equivalence violation in %s %dx%d: loopback checksum %v, sim %v",
 			app, nodes, threads, rtSum, simSum)
 	}
+	simCounts := invariantCounts(reg.Snapshot())
+	rtCounts := invariantCounts(rtSnap)
+	for _, name := range metrics.BackendInvariantCounters() {
+		if simCounts[name] != rtCounts[name] {
+			return fmt.Errorf("harness: transport equivalence violation in %s %dx%d: %s is %d on loopback, %d on sim",
+				app, nodes, threads, name, rtCounts[name], simCounts[name])
+		}
+	}
 	return nil
 }
 
+// invariantCounts extracts the backend-invariant counters by JSON name.
+func invariantCounts(s *metrics.Snapshot) map[string]int64 {
+	want := make(map[string]bool)
+	for _, name := range metrics.BackendInvariantCounters() {
+		want[name] = true
+	}
+	out := make(map[string]int64)
+	s.EachCounter(func(name string, c *metrics.Counter) {
+		if want[name] {
+			out[name] = int64(*c)
+		}
+	})
+	return out
+}
+
 // runLoopbackProbe executes one application on the real runtime over
-// the in-process loopback transport and returns its checksum, after
-// validating it against the sequential reference.
-func runLoopbackProbe(app string, size apps.Size, nodes, threads int) (float64, error) {
+// the in-process loopback transport and returns its checksum and
+// wall-clock metrics snapshot, after validating the result against the
+// sequential reference.
+func runLoopbackProbe(app string, size apps.Size, nodes, threads int) (float64, *metrics.Snapshot, error) {
 	a, err := apps.New(app, size)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	cl, err := rt.NewCluster(rt.DefaultConfig(nodes, threads))
+	rcfg := rt.DefaultConfig(nodes, threads)
+	met := rt.NewMetrics()
+	rcfg.Metrics = met
+	cl, err := rt.NewCluster(rcfg)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if err := a.Setup(cl); err != nil {
-		return 0, fmt.Errorf("harness: loopback backend: %w", err)
+		return 0, nil, fmt.Errorf("harness: loopback backend: %w", err)
 	}
 	if _, err := cl.RunLoopback(a.Main); err != nil {
-		return 0, fmt.Errorf("harness: loopback backend: %w", err)
+		return 0, nil, fmt.Errorf("harness: loopback backend: %w", err)
 	}
 	if err := a.Check(); err != nil {
-		return 0, fmt.Errorf("harness: loopback backend: %w", err)
+		return 0, nil, fmt.Errorf("harness: loopback backend: %w", err)
 	}
-	return a.Checksum(), nil
+	return a.Checksum(), met.Snapshot(), nil
 }

@@ -72,6 +72,12 @@ func CompareReports(base, cur *Report, opts CompareOpts) []Finding {
 	bc := flattenCounters(base.Snapshot)
 	cc := flattenCounters(cur.Snapshot)
 	for _, name := range sortedKeys(bc) {
+		if base.fileKeys != nil && !base.fileKeys[name] {
+			// The baseline file predates this counter: the struct walk
+			// reports a zero the file never recorded. A metric that did
+			// not exist when the baseline was captured cannot regress.
+			continue
+		}
 		b := bc[name]
 		c, ok := cc[name]
 		if !ok {

@@ -172,3 +172,55 @@ func TestSnapshotJSONKeysComplete(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareSkipsCountersTheBaselineFilePredates pins the schema-
+// evolution contract: a counter added to the Snapshot after a baseline
+// file was captured must not gate against the phantom zero the struct
+// walk reports for it — while a counter the file genuinely recorded
+// (even at zero) still gates exactly.
+func TestCompareSkipsCountersTheBaselineFilePredates(t *testing.T) {
+	cur := NewReport(Meta{}, &Snapshot{Nodes: make([]NodeMetrics, 1)}, 5)
+	cur.Snapshot.LockAcquires.Add(224)
+	cur.Snapshot.NetDropped.Add(3)
+
+	var buf strings.Builder
+	if err := cur.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an old baseline: strip lock_acquires from the file, and
+	// record net_dropped at zero.
+	raw := strings.Replace(buf.String(), `"lock_acquires": 224,`, "", 1)
+	raw = strings.Replace(raw, `"net_dropped": 3,`, `"net_dropped": 0,`, 1)
+	base, err := ReadReport([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var lockFindings, dropFindings int
+	for _, f := range CompareReports(base, cur, DefaultCompareOpts) {
+		switch f.Path {
+		case "lock_acquires":
+			lockFindings++
+		case "net_dropped":
+			dropFindings++
+		}
+	}
+	if lockFindings != 0 {
+		t.Error("counter absent from the baseline file was gated against its phantom zero")
+	}
+	if dropFindings != 1 {
+		t.Errorf("counter recorded at zero in the baseline file produced %d findings, want 1", dropFindings)
+	}
+
+	// An in-memory baseline (no file) still gates everything.
+	memBase := NewReport(Meta{}, &Snapshot{Nodes: make([]NodeMetrics, 1)}, 5)
+	var memLock int
+	for _, f := range CompareReports(memBase, cur, DefaultCompareOpts) {
+		if f.Path == "lock_acquires" {
+			memLock++
+		}
+	}
+	if memLock != 1 {
+		t.Errorf("in-memory baseline produced %d lock_acquires findings, want 1", memLock)
+	}
+}

@@ -147,6 +147,22 @@ func (s *Snapshot) counters(fn func(name string, c *Counter)) {
 	}
 }
 
+// EachHistogram walks every histogram reachable from s in deterministic
+// order, calling fn with the same (scope, name) keys the report writers
+// use ("node3"/"net:Lock", JSON field name). Exported for consumers
+// outside the package — the Prometheus exporter and the backend
+// equivalence gate — so they track new histogram fields automatically.
+func (s *Snapshot) EachHistogram(fn func(scope, name string, h *Histogram)) {
+	s.histograms(fn)
+}
+
+// EachCounter walks every top-level Counter of the snapshot in field
+// order, keyed by JSON name. Exported for the same consumers as
+// EachHistogram.
+func (s *Snapshot) EachCounter(fn func(name string, c *Counter)) {
+	s.counters(fn)
+}
+
 // forEachHistField visits the Histogram fields of a struct pointer.
 func forEachHistField(ptr any, fn func(name string, h *Histogram)) {
 	v := reflect.ValueOf(ptr).Elem()

@@ -313,6 +313,35 @@ type Snapshot struct {
 	NetDuplicated Counter `json:"net_duplicated"`
 	Retransmits   Counter `json:"retransmits"`
 	DupSuppressed Counter `json:"dup_suppressed"`
+
+	// Backend-invariant synchronization counters: one increment per
+	// application-level Lock, Unlock, Barrier, LocalBarrier, and Reduce
+	// call. These are properties of the program, not of the protocol or
+	// the clock, so the deterministic simulator and the real runtime
+	// must agree on them exactly — `cvm-metrics diff-backends` and
+	// harness.GuardTransportEquivalence gate on that equality. They are
+	// run-lifetime counts: the steady-state Reset does not clear them
+	// (the real runtime has no cluster-wide reset instant, so a windowed
+	// count could never line up across backends).
+	LockAcquires         Counter `json:"lock_acquires"`
+	LockReleases         Counter `json:"lock_releases"`
+	BarrierArrivals      Counter `json:"barrier_arrivals"`
+	LocalBarrierArrivals Counter `json:"local_barrier_arrivals"`
+	Reductions           Counter `json:"reductions"`
+}
+
+// BackendInvariantCounters names the Snapshot counters every backend
+// must agree on exactly for the same application and shape (the
+// diff-backends equivalence gate). The names are the counters' JSON
+// keys, as produced by EachCounter.
+func BackendInvariantCounters() []string {
+	return []string{
+		"lock_acquires",
+		"lock_releases",
+		"barrier_arrivals",
+		"local_barrier_arrivals",
+		"reductions",
+	}
 }
 
 // Merge folds other into s field-by-field via reflection, so metrics
@@ -344,6 +373,21 @@ type Registry struct {
 	// shards in node order, and every fold operation is commutative, so
 	// the folded snapshot is byte-identical at any worker count.
 	shards []regShard
+
+	// syncShards hold the backend-invariant synchronization counts.
+	// Unlike shards they survive Reset: the counts are run-lifetime by
+	// contract (see the Snapshot field comment), so Configure only
+	// allocates them on first configuration.
+	syncShards []syncCounts
+}
+
+// syncCounts is one node's shard of the backend-invariant counters.
+type syncCounts struct {
+	lockAcquires         int64
+	lockReleases         int64
+	barrierArrivals      int64
+	localBarrierArrivals int64
+	reductions           int64
 }
 
 // regShard is one node's lock-free observation shard.
@@ -407,6 +451,9 @@ func (r *Registry) Configure(nodes int, msgClasses []string) {
 			lockWait: make(map[int32]*WaitAttr),
 		}
 	}
+	if len(r.syncShards) != nodes {
+		r.syncShards = make([]syncCounts, nodes)
+	}
 }
 
 // Node returns node i's metrics struct for hot-path observation.
@@ -440,6 +487,23 @@ func (r *Registry) CountRetransmit(node int) { r.shards[node].retransmits++ }
 
 // CountDupSuppressed records one deduped replayed delivery at node.
 func (r *Registry) CountDupSuppressed(node int) { r.shards[node].dupSuppressed++ }
+
+// CountLockAcquire records one application-level Lock call by node.
+func (r *Registry) CountLockAcquire(node int) { r.syncShards[node].lockAcquires++ }
+
+// CountLockRelease records one application-level Unlock call by node.
+func (r *Registry) CountLockRelease(node int) { r.syncShards[node].lockReleases++ }
+
+// CountBarrierArrive records one global-barrier arrival by node.
+func (r *Registry) CountBarrierArrive(node int) { r.syncShards[node].barrierArrivals++ }
+
+// CountLocalBarrierArrive records one intra-node barrier arrival by node.
+func (r *Registry) CountLocalBarrierArrive(node int) {
+	r.syncShards[node].localBarrierArrivals++
+}
+
+// CountReduce records one global-reduction arrival by node.
+func (r *Registry) CountReduce(node int) { r.syncShards[node].reductions++ }
 
 func attrAdd(m map[int32]*WaitAttr, k int32, d sim.Time) {
 	a := m[k]
@@ -516,6 +580,14 @@ func (r *Registry) Snapshot() *Snapshot {
 		out.TimelineClippedNs.Add(sh.clippedNs)
 		out.Retransmits.Add(sh.retransmits)
 		out.DupSuppressed.Add(sh.dupSuppressed)
+	}
+	for i := range r.syncShards {
+		sy := &r.syncShards[i]
+		out.LockAcquires.Add(sy.lockAcquires)
+		out.LockReleases.Add(sy.lockReleases)
+		out.BarrierArrivals.Add(sy.barrierArrivals)
+		out.LocalBarrierArrivals.Add(sy.localBarrierArrivals)
+		out.Reductions.Add(sy.reductions)
 	}
 	return out
 }

@@ -21,12 +21,52 @@ type HotEntry struct {
 }
 
 // Report is the serializable run profile: the raw snapshot plus the
-// derived top-N hot-page and hot-lock tables.
+// derived top-N hot-page and hot-lock tables. Real is present only for
+// reports produced by a wall-clock backend (loopback or TCP): its
+// absence is how tooling tells a virtual-time simulator report from a
+// real-run report, and omitempty keeps simulator reports byte-identical
+// to the pre-Real format.
 type Report struct {
 	Meta     Meta       `json:"meta"`
 	Snapshot *Snapshot  `json:"snapshot"`
 	HotPages []HotEntry `json:"hot_pages"`
 	HotLocks []HotEntry `json:"hot_locks"`
+	Real     *RealStats `json:"real,omitempty"`
+
+	// fileKeys, set by ReadReport, records the snapshot's top-level JSON
+	// keys actually present in the parsed file. A struct walk cannot
+	// distinguish a counter recorded at zero from one the file predates
+	// (both unmarshal to 0), so CompareReports consults this to honor
+	// its "new metrics in cur are allowed silently" contract for
+	// baselines written before a counter existed. nil for in-memory
+	// reports, which always carry the full current schema.
+	fileKeys map[string]bool
+}
+
+// RealStats is the wall-clock section of a real-run report: backend
+// identity, elapsed wall time, and the transport traffic totals (with
+// the per-peer breakdown when the backend tracks one).
+type RealStats struct {
+	Backend   string          `json:"backend"`
+	Nodes     int             `json:"nodes"`
+	ElapsedNs int64           `json:"elapsed_ns"`
+	Classes   []RealClassStat `json:"classes,omitempty"`
+	Peers     []RealPeerStat  `json:"peers,omitempty"`
+}
+
+// RealClassStat is one message class's transport traffic total.
+type RealClassStat struct {
+	Class string `json:"class"`
+	Msgs  int64  `json:"msgs"`
+	Bytes int64  `json:"bytes"`
+}
+
+// RealPeerStat is one destination peer's transport traffic total, as
+// seen from the node(s) whose stats fed the report.
+type RealPeerStat struct {
+	Peer  int   `json:"peer"`
+	Msgs  int64 `json:"msgs"`
+	Bytes int64 `json:"bytes"`
 }
 
 // NewReport derives a report from a snapshot, keeping the top n entries
@@ -70,6 +110,15 @@ func ReadReport(data []byte) (*Report, error) {
 	}
 	if r.Snapshot == nil {
 		return nil, fmt.Errorf("metrics: report has no snapshot")
+	}
+	var probe struct {
+		Snapshot map[string]json.RawMessage `json:"snapshot"`
+	}
+	if err := json.Unmarshal(data, &probe); err == nil {
+		r.fileKeys = make(map[string]bool, len(probe.Snapshot))
+		for k := range probe.Snapshot {
+			r.fileKeys[k] = true
+		}
 	}
 	return &r, nil
 }
@@ -184,6 +233,23 @@ func (r *Report) WriteText(w io.Writer) error {
 	}
 	writeHot("hottest pages (fault wait)", "page", r.HotPages)
 	writeHot("most contended locks (acquire wait)", "lock", r.HotLocks)
+
+	if re := r.Real; re != nil {
+		pr("\nreal transport (%s, %d nodes, wall time)\n", re.Backend, re.Nodes)
+		pr("  elapsed: %s\n", fmtNs(re.ElapsedNs))
+		if len(re.Classes) > 0 {
+			pr("  %-10s %9s %12s\n", "class", "msgs", "bytes")
+			for _, c := range re.Classes {
+				pr("  %-10s %9d %12d\n", c.Class, c.Msgs, c.Bytes)
+			}
+		}
+		if len(re.Peers) > 0 {
+			pr("  %-10s %9s %12s\n", "peer", "msgs", "bytes")
+			for _, p := range re.Peers {
+				pr("  node%-6d %9d %12d\n", p.Peer, p.Msgs, p.Bytes)
+			}
+		}
+	}
 
 	writeTimeline(pr, s)
 	return err

@@ -1,0 +1,336 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cvm/internal/core"
+	"cvm/internal/metrics"
+	"cvm/internal/sim"
+	"cvm/internal/trace"
+	"cvm/internal/transport"
+)
+
+// Metrics collects a real-execution cluster's wall-clock protocol
+// metrics into the same Snapshot shape the simulator's registry
+// produces, so the existing reporter, merge, and compare tooling work
+// unchanged on real runs. Histogram values are nanoseconds of wall
+// time (virtual nanoseconds in the simulator's reports) — time-typed
+// metrics are therefore comparable only side by side, while the
+// backend-invariant counters (see metrics.BackendInvariantCounters)
+// must match the simulator exactly.
+//
+// Unlike the simulator's registry, observations here are concurrent:
+// workers on different nodes (and the dispatcher) observe in parallel,
+// so each node's shard carries its own mutex. A Metrics is attached to
+// one rt.Config; in a multi-process cluster each process observes only
+// its own node's shard, and the coordinator merges the per-node
+// snapshots in node order.
+type Metrics struct {
+	mu     sync.Mutex
+	nodes  int
+	shards []rtMetShard
+}
+
+// rtMetShard is one node's mutex-guarded observation shard.
+type rtMetShard struct {
+	mu       sync.Mutex
+	nm       metrics.NodeMetrics
+	pageWait map[int32]*metrics.WaitAttr
+	lockWait map[int32]*metrics.WaitAttr
+
+	lockAcquires         int64
+	lockReleases         int64
+	barrierArrivals      int64
+	localBarrierArrivals int64
+	reductions           int64
+}
+
+// NewMetrics returns an empty collector; attach it via Config.Metrics.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// configure sizes the collector for the cluster. Reattaching the same
+// collector to a differently-shaped cluster panics; reattaching to the
+// same shape accumulates (a multi-run aggregate is meaningless for the
+// equivalence gate, so callers use a fresh Metrics per run).
+func (m *Metrics) configure(nodes int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.shards == nil {
+		m.nodes = nodes
+		m.shards = make([]rtMetShard, nodes)
+		for i := range m.shards {
+			m.shards[i].pageWait = make(map[int32]*metrics.WaitAttr)
+			m.shards[i].lockWait = make(map[int32]*metrics.WaitAttr)
+		}
+		return
+	}
+	if m.nodes != nodes {
+		panic(fmt.Sprintf("rt: Metrics attached to a %d-node cluster after a %d-node one",
+			nodes, m.nodes))
+	}
+}
+
+func (m *Metrics) shard(node int) *rtMetShard { return &m.shards[node] }
+
+// observeFault records one remote page fetch: service time (request to
+// install) and the faulting thread's blocked time, attributed to pg.
+func (m *Metrics) observeFault(node int, pg core.PageID, d sim.Time) {
+	sh := m.shard(node)
+	sh.mu.Lock()
+	sh.nm.FaultService.Observe(int64(d))
+	sh.nm.FaultThreadWait.Observe(int64(d))
+	attrAdd(sh.pageWait, int32(pg), int64(d))
+	sh.mu.Unlock()
+}
+
+// observeLock records one lock acquire: request-to-grant wait,
+// classified by whether the manager was local (no wire messages) or
+// remote (the runtime's centralized managers make every remote acquire
+// a 2-hop exchange; Lock3Hop stays empty by construction).
+func (m *Metrics) observeLock(node int, id int32, d sim.Time, local bool) {
+	sh := m.shard(node)
+	sh.mu.Lock()
+	if local {
+		sh.nm.LockLocalWait.Observe(int64(d))
+	} else {
+		sh.nm.Lock2Hop.Observe(int64(d))
+	}
+	attrAdd(sh.lockWait, id, int64(d))
+	sh.lockAcquires++
+	sh.mu.Unlock()
+}
+
+// countUnlock records one application-level Unlock.
+func (m *Metrics) countUnlock(node int) {
+	sh := m.shard(node)
+	sh.mu.Lock()
+	sh.lockReleases++
+	sh.mu.Unlock()
+}
+
+// countBarrierArrive records one global-barrier arrival.
+func (m *Metrics) countBarrierArrive(node int, local bool) {
+	sh := m.shard(node)
+	sh.mu.Lock()
+	if local {
+		sh.localBarrierArrivals++
+	} else {
+		sh.barrierArrivals++
+	}
+	sh.mu.Unlock()
+}
+
+// observeBarrierStall records one thread's arrive-to-release stall.
+func (m *Metrics) observeBarrierStall(node int, d sim.Time, local bool) {
+	sh := m.shard(node)
+	sh.mu.Lock()
+	if local {
+		sh.nm.LocalBarrierStall.Observe(int64(d))
+	} else {
+		sh.nm.BarrierStall.Observe(int64(d))
+	}
+	sh.mu.Unlock()
+}
+
+// countReduce records one global-reduction arrival.
+func (m *Metrics) countReduce(node int) {
+	sh := m.shard(node)
+	sh.mu.Lock()
+	sh.reductions++
+	sh.mu.Unlock()
+}
+
+// observeDiff records the wire size of one diff shipped to a home.
+func (m *Metrics) observeDiff(node int, bytes int64) {
+	sh := m.shard(node)
+	sh.mu.Lock()
+	sh.nm.DiffBytes.Observe(bytes)
+	sh.mu.Unlock()
+}
+
+func attrAdd(m map[int32]*metrics.WaitAttr, k int32, ns int64) {
+	a := m[k]
+	if a == nil {
+		a = &metrics.WaitAttr{}
+		m[k] = a
+	}
+	a.WaitNs += ns
+	a.Count++
+}
+
+func foldAttr(dst, src map[int32]*metrics.WaitAttr) {
+	for k, a := range src {
+		d := dst[k]
+		if d == nil {
+			d = &metrics.WaitAttr{}
+			dst[k] = d
+		}
+		d.WaitNs += a.WaitNs
+		d.Count += a.Count
+	}
+}
+
+// Snapshot folds the shards into a full-shape metrics snapshot: Nodes
+// is sized for the whole cluster (a member process's snapshot has only
+// its own node populated), and MsgClasses carries the transport class
+// names so network-shaped fields mean the same thing as the
+// simulator's. Safe to call concurrently with observation — the debug
+// server scrapes mid-run.
+func (m *Metrics) Snapshot() *metrics.Snapshot {
+	m.mu.Lock()
+	nodes := m.nodes
+	m.mu.Unlock()
+	classes := make([]string, 0, transport.NumClasses)
+	for _, cl := range transport.Classes() {
+		classes = append(classes, cl.String())
+	}
+	out := &metrics.Snapshot{
+		Nodes: make([]metrics.NodeMetrics, nodes),
+		Net: metrics.NetMetrics{
+			Latency:     make([]metrics.Histogram, len(classes)),
+			EgressWait:  make([]metrics.Histogram, len(classes)),
+			IngressWait: make([]metrics.Histogram, len(classes)),
+		},
+		MsgClasses: classes,
+		PageWait:   make(map[int32]*metrics.WaitAttr),
+		LockWait:   make(map[int32]*metrics.WaitAttr),
+		Timeline:   make([][]metrics.TimelineBin, nodes),
+	}
+	for i := 0; i < nodes; i++ {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		out.Nodes[i] = sh.nm
+		foldAttr(out.PageWait, sh.pageWait)
+		foldAttr(out.LockWait, sh.lockWait)
+		out.LockAcquires.Add(sh.lockAcquires)
+		out.LockReleases.Add(sh.lockReleases)
+		out.BarrierArrivals.Add(sh.barrierArrivals)
+		out.LocalBarrierArrivals.Add(sh.localBarrierArrivals)
+		out.Reductions.Add(sh.reductions)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// lockedTracer serializes Emit calls: trace.Recorder is not
+// thread-safe, and a real cluster's workers and dispatcher emit
+// concurrently.
+type lockedTracer struct {
+	mu sync.Mutex
+	tr trace.Tracer
+}
+
+func (lt *lockedTracer) emit(e trace.Event) {
+	lt.mu.Lock()
+	lt.tr.Emit(e)
+	lt.mu.Unlock()
+}
+
+// Thread states surfaced by Cluster.Status. Stored per worker as an
+// atomic so the debug server reads them without touching the run token.
+const (
+	tsStarting int32 = iota
+	tsRunning
+	tsFault
+	tsLock
+	tsBarrier
+	tsReduce
+	tsDone
+)
+
+var tsNames = [...]string{"starting", "running", "fault-wait", "lock-wait",
+	"barrier-wait", "reduce-wait", "done"}
+
+func tsName(s int32) string {
+	if s < 0 || int(s) >= len(tsNames) {
+		return "unknown"
+	}
+	return tsNames[s]
+}
+
+// NodeStatus is one node's live introspection snapshot, served by the
+// cvm-node debug endpoint as /status.
+type NodeStatus struct {
+	Node    int          `json:"node"`
+	Epoch   uint64       `json:"epoch"`
+	Threads []string     `json:"threads"`
+	Failure string       `json:"failure,omitempty"`
+	Peers   []PeerStatus `json:"peers,omitempty"`
+}
+
+// PeerStatus is the sent-side traffic toward one peer, with its
+// transport address — nonzero growth over successive scrapes is the
+// liveness signal.
+type PeerStatus struct {
+	Peer  int    `json:"peer"`
+	Addr  string `json:"addr"`
+	Msgs  int64  `json:"msgs"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Status reports the live state of every node running in this process:
+// one entry per node for RunLoopback, one for RunNode, empty before
+// the run starts. Safe to call concurrently with the run.
+func (c *Cluster) Status() []NodeStatus {
+	c.runMu.Lock()
+	nodes := append([]*rnode(nil), c.rnodes...)
+	c.runMu.Unlock()
+	out := make([]NodeStatus, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, n.status())
+	}
+	return out
+}
+
+func (n *rnode) status() NodeStatus {
+	st := NodeStatus{Node: n.self, Epoch: n.epoch.Load()}
+	st.Threads = make([]string, len(n.tstate))
+	for i := range n.tstate {
+		st.Threads[i] = tsName(n.tstate[i].Load())
+	}
+	if err := n.failure(); err != nil {
+		st.Failure = err.Error()
+	}
+	stats := n.conn.Stats()
+	for j := range stats.Peers {
+		if j == n.self {
+			continue
+		}
+		p := &stats.Peers[j]
+		st.Peers = append(st.Peers, PeerStatus{
+			Peer:  j,
+			Addr:  n.conn.PeerAddr(transport.NodeID(j)),
+			Msgs:  p.TotalMsgs(),
+			Bytes: p.TotalBytes(),
+		})
+	}
+	return st
+}
+
+// RealStats converts a run's wall time and transport totals into a
+// report's Real section (shared by cvm-run's loopback path and
+// cvm-node's cluster path).
+func RealStats(backend string, nodes int, elapsed time.Duration, st transport.Stats) *metrics.RealStats {
+	re := &metrics.RealStats{
+		Backend:   backend,
+		Nodes:     nodes,
+		ElapsedNs: elapsed.Nanoseconds(),
+	}
+	for _, cl := range transport.Classes() {
+		re.Classes = append(re.Classes, metrics.RealClassStat{
+			Class: cl.String(), Msgs: st.Msgs[cl], Bytes: st.Bytes[cl],
+		})
+	}
+	for j := range st.Peers {
+		p := &st.Peers[j]
+		if p.TotalMsgs() == 0 {
+			continue
+		}
+		re.Peers = append(re.Peers, metrics.RealPeerStat{
+			Peer: j, Msgs: p.TotalMsgs(), Bytes: p.TotalBytes(),
+		})
+	}
+	return re
+}

@@ -1,0 +1,172 @@
+package rt_test
+
+import (
+	"testing"
+
+	"cvm"
+	"cvm/internal/metrics"
+	"cvm/internal/rt"
+	"cvm/internal/trace"
+)
+
+// runMetered runs a lock/barrier workload with metrics and tracing
+// attached and returns the snapshot plus the recorder.
+func runMetered(t *testing.T, nodes, threads, iters int) (*metrics.Snapshot, *trace.Recorder, *rt.Cluster) {
+	t.Helper()
+	cfg := rt.DefaultConfig(nodes, threads)
+	met := rt.NewMetrics()
+	rec := trace.NewRecorder(nodes, threads, 0)
+	cfg.Metrics = met
+	cfg.Tracer = rec
+	c, err := rt.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := cvm.MustAllocF64(c, "ctr", 1)
+	if _, err := c.RunLoopback(func(w cvm.Worker) {
+		for i := 0; i < iters; i++ {
+			w.Lock(3)
+			ctr.Add(w, 0, 1)
+			w.Unlock(3)
+		}
+		w.Barrier(0)
+		w.LocalBarrier(1)
+		w.ReduceF64(2, 1, 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return met.Snapshot(), rec, c
+}
+
+// TestMetricsCountsSyncOps checks the backend-invariant counters: each
+// is program-determined — exactly one increment per application call —
+// which is the property the sim-vs-real equivalence gate relies on.
+func TestMetricsCountsSyncOps(t *testing.T) {
+	const nodes, threads, iters = 4, 2, 5
+	snap, _, _ := runMetered(t, nodes, threads, iters)
+	nt := int64(nodes * threads)
+	for _, tc := range []struct {
+		name string
+		got  metrics.Counter
+		want int64
+	}{
+		{"lock_acquires", snap.LockAcquires, nt * iters},
+		{"lock_releases", snap.LockReleases, nt * iters},
+		{"barrier_arrivals", snap.BarrierArrivals, nt},
+		{"local_barrier_arrivals", snap.LocalBarrierArrivals, nt},
+		{"reductions", snap.Reductions, nt},
+	} {
+		if int64(tc.got) != tc.want {
+			t.Errorf("%s = %d, want %d", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+// TestMetricsObservesWaits checks that the wall-clock histograms and
+// attribution maps populate: remote lock waits classify as 2-hop (the
+// centralized managers never need a third hop), barrier stalls and
+// fault service times are nonzero, and the hot-lock table attributes
+// the contended lock.
+func TestMetricsObservesWaits(t *testing.T) {
+	const nodes, threads, iters = 4, 2, 5
+	snap, rec, _ := runMetered(t, nodes, threads, iters)
+
+	var hist metrics.Histogram
+	for i := range snap.Nodes {
+		nm := &snap.Nodes[i]
+		hist.Count += nm.Lock2Hop.Count + nm.LockLocalWait.Count
+	}
+	if got, want := hist.Count, int64(nodes*threads*iters); got != want {
+		t.Errorf("lock wait observations = %d, want %d", got, want)
+	}
+	var threeHop int64
+	for i := range snap.Nodes {
+		threeHop += snap.Nodes[i].Lock3Hop.Count
+	}
+	if threeHop != 0 {
+		t.Errorf("Lock3Hop = %d, want 0 (centralized managers are 2-hop by construction)", threeHop)
+	}
+	var stalls, faults int64
+	for i := range snap.Nodes {
+		stalls += snap.Nodes[i].BarrierStall.Count
+		faults += snap.Nodes[i].FaultService.Count
+	}
+	if stalls != int64(nodes*threads) {
+		t.Errorf("barrier stalls = %d, want %d", stalls, nodes*threads)
+	}
+	if faults == 0 {
+		t.Error("no fault service observations despite remote page traffic")
+	}
+	if a := snap.LockWait[3]; a == nil || a.Count == 0 {
+		t.Errorf("lock 3 missing from the hot-lock attribution: %+v", snap.LockWait)
+	}
+	if len(snap.PageWait) == 0 {
+		t.Error("no page wait attribution despite remote faults")
+	}
+	if len(snap.MsgClasses) == 0 {
+		t.Error("snapshot carries no message class names")
+	}
+	if rec.Len() == 0 {
+		t.Error("tracer attached but no events recorded")
+	}
+}
+
+// TestStatusAfterRun checks the live-introspection surface: after the
+// run every thread reports done, the epoch advanced with the acquires,
+// and the per-peer traffic is populated.
+func TestStatusAfterRun(t *testing.T) {
+	const nodes, threads = 4, 2
+	_, _, c := runMetered(t, nodes, threads, 3)
+	sts := c.Status()
+	if len(sts) != nodes {
+		t.Fatalf("Status() returned %d nodes, want %d", len(sts), nodes)
+	}
+	for _, st := range sts {
+		if len(st.Threads) != threads {
+			t.Errorf("node %d: %d thread states, want %d", st.Node, len(st.Threads), threads)
+		}
+		for i, s := range st.Threads {
+			if s != "done" {
+				t.Errorf("node %d thread %d state %q after run, want done", st.Node, i, s)
+			}
+		}
+		if st.Epoch == 0 {
+			t.Errorf("node %d epoch 0 after a run with acquires", st.Node)
+		}
+		if st.Failure != "" {
+			t.Errorf("node %d reports failure %q after clean run", st.Node, st.Failure)
+		}
+		var traffic int64
+		for _, p := range st.Peers {
+			traffic += p.Msgs
+		}
+		if traffic == 0 {
+			t.Errorf("node %d reports zero peer traffic", st.Node)
+		}
+	}
+}
+
+// TestMetricsReconfigureMismatchPanics pins the shape guard: one
+// collector cannot silently aggregate differently-shaped clusters.
+func TestMetricsReconfigureMismatchPanics(t *testing.T) {
+	met := rt.NewMetrics()
+	run := func(nodes int) error {
+		cfg := rt.DefaultConfig(nodes, 1)
+		cfg.Metrics = met
+		c, err := rt.NewCluster(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = c.RunLoopback(func(w cvm.Worker) { w.Barrier(0) })
+		return err
+	}
+	if err := run(2); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("reattaching a 2-node Metrics to a 4-node cluster did not panic")
+		}
+	}()
+	run(4)
+}

@@ -9,6 +9,7 @@ import (
 	"cvm"
 	"cvm/internal/core"
 	"cvm/internal/sim"
+	"cvm/internal/trace"
 	"cvm/internal/transport"
 )
 
@@ -43,7 +44,9 @@ type rnode struct {
 	tok   sync.Mutex
 	cache map[core.PageID]*rpage
 	dirty []core.PageID // pages in cache with a twin
-	epoch uint64        // bumped by invalidate; stale fetches re-request
+	// epoch is bumped by invalidate; stale fetches re-request. Writes
+	// happen under tok, but Status reads it without, hence atomic.
+	epoch atomic.Uint64
 
 	// hmu guards the master copies, manager state, and per-node sync
 	// state shared with the dispatcher.
@@ -70,9 +73,16 @@ type rnode struct {
 
 	clock *sim.WallClock
 	dispd chan struct{} // dispatcher exited
+
+	// Observability. met and tracer are nil unless the run asked for
+	// them; tstate (one atomic per local thread) always tracks worker
+	// states for Status.
+	met    *Metrics
+	tracer *lockedTracer
+	tstate []atomic.Int32
 }
 
-func newNode(c *Cluster, conn transport.Conn) *rnode {
+func newNode(c *Cluster, conn transport.Conn, clock *sim.WallClock, tracer *lockedTracer) *rnode {
 	return &rnode{
 		c:       c,
 		conn:    conn,
@@ -90,10 +100,16 @@ func newNode(c *Cluster, conn transport.Conn) *rnode {
 		doneCh:  make(chan struct{}),
 		pending: make(map[uint32]chan []byte),
 		failCh:  make(chan struct{}),
-		clock:   sim.NewWallClock(),
+		clock:   clock,
 		dispd:   make(chan struct{}),
+		met:     c.cfg.Metrics,
+		tracer:  tracer,
+		tstate:  make([]atomic.Int32, c.cfg.ThreadsPerNode),
 	}
 }
+
+// setState publishes worker w's scheduling state for Status.
+func (n *rnode) setState(w *Worker, s int32) { n.tstate[w.lid].Store(s) }
 
 // home reports the node holding page pg's master copy.
 func (n *rnode) home(pg core.PageID) int { return int(pg) % n.nodes }
@@ -128,9 +144,11 @@ func (n *rnode) run(main func(cvm.Worker)) error {
 						panic(r)
 					}
 				}
+				n.setState(w, tsDone)
 				n.tok.Unlock()
 			}()
 			n.tok.Lock()
+			n.setState(w, tsRunning)
 			main(w)
 		}()
 	}
@@ -305,18 +323,41 @@ func (n *rnode) checkFail() {
 // released while the request is in flight, letting co-located threads
 // run — the paper's latency hiding, for real this time. Replies that
 // raced an invalidation (epoch moved) are discarded and re-requested.
-func (n *rnode) fetchPage(pg core.PageID) *rpage {
+// The cache-hit path stays observation-free; misses pay one wall-clock
+// read per enabled collector, dwarfed by the network round trip.
+func (n *rnode) fetchPage(w *Worker, pg core.PageID) *rpage {
 	for {
 		if p := n.cache[pg]; p != nil {
 			return p
 		}
-		e := n.epoch
+		obs := n.met != nil || n.tracer != nil
+		var t0 sim.Time
+		if obs {
+			t0 = n.clock.Now()
+			if tr := n.tracer; tr != nil {
+				tr.emit(trace.Event{T: t0, Kind: trace.KindFaultStart,
+					Node: int32(n.self), Thread: int32(w.gid), Page: int32(pg)})
+			}
+		}
+		n.setState(w, tsFault)
+		e := n.epoch.Load()
 		reqID, ch := n.newPending()
 		n.send(n.home(pg), msgPageReq, encodeReq(reqID, uint32(pg)))
 		n.tok.Unlock()
 		data := n.await(ch)
 		n.tok.Lock()
-		if n.epoch != e {
+		n.setState(w, tsRunning)
+		if obs {
+			now := n.clock.Now()
+			if m := n.met; m != nil {
+				m.observeFault(n.self, pg, now-t0)
+			}
+			if tr := n.tracer; tr != nil {
+				tr.emit(trace.Event{T: now, Kind: trace.KindFaultResolve,
+					Node: int32(n.self), Thread: int32(w.gid), Page: int32(pg)})
+			}
+		}
+		if n.epoch.Load() != e {
 			continue
 		}
 		if p := n.cache[pg]; p != nil {
@@ -352,7 +393,18 @@ func (n *rnode) flushOnce() {
 			continue
 		}
 		reqID, ch := n.newPending()
-		n.send(n.home(pg), msgDiffReq, encodeDiff(reqID, pg, runs))
+		payload := encodeDiff(reqID, pg, runs)
+		if m := n.met; m != nil {
+			// The diff's wire size: the encoded runs, excluding the
+			// reqID+page request header.
+			m.observeDiff(n.self, int64(len(payload)-8))
+		}
+		if tr := n.tracer; tr != nil {
+			tr.emit(trace.Event{T: n.clock.Now(), Kind: trace.KindDiffCreate,
+				Node: int32(n.self), Thread: -1, Page: int32(pg),
+				Arg: int64(len(payload) - 8)})
+		}
+		n.send(n.home(pg), msgDiffReq, payload)
 		acks = append(acks, ack{ch})
 	}
 	n.dirty = n.dirty[:0]
@@ -380,6 +432,6 @@ func (n *rnode) flushAll() {
 // the homes. Caller holds tok.
 func (n *rnode) acquireSync() {
 	n.flushAll()
-	n.epoch++
+	n.epoch.Add(1)
 	n.cache = make(map[core.PageID]*rpage)
 }

@@ -33,10 +33,13 @@ package rt
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"cvm"
 	"cvm/internal/core"
+	"cvm/internal/sim"
+	"cvm/internal/trace"
 	"cvm/internal/transport"
 )
 
@@ -45,6 +48,18 @@ type Config struct {
 	Nodes          int
 	ThreadsPerNode int
 	PageSize       int // coherence unit in bytes; multiple of 8
+
+	// Metrics, when non-nil, collects wall-clock protocol metrics
+	// (fault service, lock waits, barrier stalls, diff bytes, and the
+	// backend-invariant sync counters) into the simulator's snapshot
+	// shape. Nil keeps every hot path observation-free.
+	Metrics *Metrics
+
+	// Tracer, when non-nil, receives wall-timestamped protocol events
+	// on the same kinds the simulator emits, feeding the existing
+	// Chrome exporter. The runtime serializes emissions with an
+	// internal mutex, so a plain trace.Recorder is safe here.
+	Tracer trace.Tracer
 }
 
 // DefaultConfig mirrors the simulator's shape defaults: the given
@@ -70,6 +85,10 @@ type Cluster struct {
 	allocated core.Addr
 	segments  []Segment
 	started   bool
+
+	// runMu guards rnodes, which Status reads while the run is live.
+	runMu  sync.Mutex
+	rnodes []*rnode
 }
 
 // NewCluster validates cfg and returns an empty cluster.
@@ -143,11 +162,24 @@ func (c *Cluster) RunLoopback(main func(cvm.Worker)) (Result, error) {
 		return Result{}, errors.New("rt: cluster already run")
 	}
 	c.started = true
+	if m := c.cfg.Metrics; m != nil {
+		m.configure(c.cfg.Nodes)
+	}
+	var lt *lockedTracer
+	if c.cfg.Tracer != nil {
+		lt = &lockedTracer{tr: c.cfg.Tracer}
+	}
+	// One wall clock for the whole in-process cluster, so trace
+	// timestamps from different nodes share an epoch.
+	clock := sim.NewWallClock()
 	conns := transport.NewLoopback(c.cfg.Nodes)
 	nodes := make([]*rnode, c.cfg.Nodes)
 	for i := range nodes {
-		nodes[i] = newNode(c, conns[i])
+		nodes[i] = newNode(c, conns[i], clock, lt)
 	}
+	c.runMu.Lock()
+	c.rnodes = nodes
+	c.runMu.Unlock()
 	start := time.Now()
 	errs := make([]error, len(nodes))
 	done := make(chan int, len(nodes))
@@ -161,11 +193,16 @@ func (c *Cluster) RunLoopback(main func(cvm.Worker)) (Result, error) {
 		<-done
 	}
 	res := Result{Elapsed: time.Since(start)}
+	res.Net.Peers = make([]transport.PeerStats, c.cfg.Nodes)
 	for _, n := range nodes {
 		st := n.conn.Stats()
 		for _, cl := range transport.Classes() {
 			res.Net.Msgs[cl] += st.Msgs[cl]
 			res.Net.Bytes[cl] += st.Bytes[cl]
+			for j := range st.Peers {
+				res.Net.Peers[j].Msgs[cl] += st.Peers[j].Msgs[cl]
+				res.Net.Peers[j].Bytes[cl] += st.Peers[j].Bytes[cl]
+			}
 		}
 		n.conn.Close()
 	}
@@ -193,7 +230,18 @@ func (c *Cluster) RunNode(conn transport.Conn, main func(cvm.Worker)) (Result, e
 			conn.Nodes(), c.cfg.Nodes)
 	}
 	c.started = true
+	if m := c.cfg.Metrics; m != nil {
+		m.configure(c.cfg.Nodes)
+	}
+	var lt *lockedTracer
+	if c.cfg.Tracer != nil {
+		lt = &lockedTracer{tr: c.cfg.Tracer}
+	}
+	n := newNode(c, conn, sim.NewWallClock(), lt)
+	c.runMu.Lock()
+	c.rnodes = []*rnode{n}
+	c.runMu.Unlock()
 	start := time.Now()
-	err := newNode(c, conn).run(main)
+	err := n.run(main)
 	return Result{Elapsed: time.Since(start), Net: conn.Stats()}, err
 }

@@ -2,6 +2,8 @@ package rt
 
 import (
 	"cvm/internal/core"
+	"cvm/internal/sim"
+	"cvm/internal/trace"
 )
 
 // doneBarrier is the reserved node-level barrier id for the completion
@@ -70,9 +72,19 @@ func (n *rnode) grant(node int, reqID uint32) {
 }
 
 // lock acquires global lock id for the calling worker. Caller holds tok.
-func (n *rnode) lock(id int) {
+func (n *rnode) lock(w *Worker, id int) {
 	n.checkFail()
 	mgr := id % n.nodes
+	obs := n.met != nil || n.tracer != nil
+	var t0 sim.Time
+	if obs {
+		t0 = n.clock.Now()
+		if tr := n.tracer; tr != nil {
+			tr.emit(trace.Event{T: t0, Kind: trace.KindLockRequest,
+				Node: int32(n.self), Thread: int32(w.gid), Sync: int32(id)})
+		}
+	}
+	n.setState(w, tsLock)
 	reqID, ch := n.newPending()
 	if mgr == n.self {
 		n.lockReq(n.self, reqID, uint32(id))
@@ -82,15 +94,37 @@ func (n *rnode) lock(id int) {
 	n.tok.Unlock()
 	n.await(ch)
 	n.tok.Lock()
+	n.setState(w, tsRunning)
+	if obs {
+		now := n.clock.Now()
+		if m := n.met; m != nil {
+			m.observeLock(n.self, int32(id), now-t0, mgr == n.self)
+		}
+		if tr := n.tracer; tr != nil {
+			var arg int64
+			if mgr == n.self {
+				arg = 1 // satisfied without wire messages
+			}
+			tr.emit(trace.Event{T: now, Kind: trace.KindLockAcquire,
+				Node: int32(n.self), Thread: int32(w.gid), Sync: int32(id), Arg: arg})
+		}
+	}
 	n.acquireSync()
 }
 
 // unlock releases global lock id: flush first, so the next holder's
 // post-acquire reads observe everything written inside the critical
 // section (release consistency's release half). Caller holds tok.
-func (n *rnode) unlock(id int) {
+func (n *rnode) unlock(w *Worker, id int) {
 	n.checkFail()
+	if m := n.met; m != nil {
+		m.countUnlock(n.self)
+	}
 	n.flushAll()
+	if tr := n.tracer; tr != nil {
+		tr.emit(trace.Event{T: n.clock.Now(), Kind: trace.KindLockRelease,
+			Node: int32(n.self), Thread: int32(w.gid), Sync: int32(id)})
+	}
 	mgr := id % n.nodes
 	if mgr == n.self {
 		n.lockRel(uint32(id))
@@ -123,8 +157,21 @@ func getBar(m map[uint32]*nodeBar, id uint32) *nodeBar {
 // last local arriver flushes the node's dirty pages (all co-located
 // threads are blocked here, so the flush is complete) and forwards one
 // node-level arrival to the manager, node 0. Caller holds tok.
-func (n *rnode) barrier(id uint32) {
+func (n *rnode) barrier(w *Worker, id uint32) {
 	n.checkFail()
+	obs := n.met != nil || n.tracer != nil
+	var t0 sim.Time
+	if obs {
+		t0 = n.clock.Now()
+		if m := n.met; m != nil {
+			m.countBarrierArrive(n.self, false)
+		}
+		if tr := n.tracer; tr != nil {
+			tr.emit(trace.Event{T: t0, Kind: trace.KindBarrierArrive,
+				Node: int32(n.self), Thread: int32(w.gid), Sync: int32(id)})
+		}
+	}
+	n.setState(w, tsBarrier)
 	n.hmu.Lock()
 	nb := getBar(n.nbar, id)
 	nb.count++
@@ -144,6 +191,12 @@ func (n *rnode) barrier(id uint32) {
 	case <-n.failCh:
 	}
 	n.tok.Lock()
+	n.setState(w, tsRunning)
+	if obs {
+		if m := n.met; m != nil {
+			m.observeBarrierStall(n.self, n.clock.Now()-t0, false)
+		}
+	}
 	n.checkFail()
 	if !nb.inv {
 		nb.inv = true
@@ -177,6 +230,10 @@ func (n *rnode) barRelease(id uint32) {
 		close(n.doneCh)
 		return
 	}
+	if tr := n.tracer; tr != nil {
+		tr.emit(trace.Event{T: n.clock.Now(), Kind: trace.KindBarrierRelease,
+			Node: int32(n.self), Thread: -1, Sync: int32(id)})
+	}
 	n.hmu.Lock()
 	nb := n.nbar[id]
 	delete(n.nbar, id)
@@ -190,22 +247,48 @@ func (n *rnode) barRelease(id uint32) {
 // node-local, no flush, no invalidation — the run token's handoff
 // already orders co-located threads' accesses to node-local memory.
 // Caller holds tok.
-func (n *rnode) localBarrier(id uint32) {
+func (n *rnode) localBarrier(w *Worker, id uint32) {
 	n.checkFail()
+	obs := n.met != nil || n.tracer != nil
+	var t0 sim.Time
+	if obs {
+		t0 = n.clock.Now()
+		if m := n.met; m != nil {
+			m.countBarrierArrive(n.self, true)
+		}
+		if tr := n.tracer; tr != nil {
+			tr.emit(trace.Event{T: t0, Kind: trace.KindBarrierArrive,
+				Node: int32(n.self), Thread: int32(w.gid), Sync: int32(id), Aux: 1})
+		}
+	}
+	n.setState(w, tsBarrier)
 	n.hmu.Lock()
 	nb := getBar(n.nlbar, id)
 	nb.count++
-	if nb.count == n.threads {
+	last := nb.count == n.threads
+	if last {
 		delete(n.nlbar, id)
 		close(nb.ch)
 	}
 	n.hmu.Unlock()
+	if last {
+		if tr := n.tracer; tr != nil {
+			tr.emit(trace.Event{T: n.clock.Now(), Kind: trace.KindBarrierRelease,
+				Node: int32(n.self), Thread: int32(w.gid), Sync: int32(id), Aux: 1})
+		}
+	}
 	n.tok.Unlock()
 	select {
 	case <-nb.ch:
 	case <-n.failCh:
 	}
 	n.tok.Lock()
+	n.setState(w, tsRunning)
+	if obs {
+		if m := n.met; m != nil {
+			m.observeBarrierStall(n.self, n.clock.Now()-t0, true)
+		}
+	}
 	n.checkFail()
 }
 
@@ -234,8 +317,12 @@ type redManager struct {
 // release carries the combined result. Contributions fold in local-id
 // order, not arrival order, so the floating-point result is independent
 // of scheduling. Caller holds tok.
-func (n *rnode) reduce(lid, id int, v float64, op core.ReduceOp) float64 {
+func (n *rnode) reduce(w *Worker, id int, v float64, op core.ReduceOp) float64 {
 	n.checkFail()
+	if m := n.met; m != nil {
+		m.countReduce(n.self)
+	}
+	n.setState(w, tsReduce)
 	rid := uint32(id)
 	n.hmu.Lock()
 	nr := n.nred[rid]
@@ -243,7 +330,7 @@ func (n *rnode) reduce(lid, id int, v float64, op core.ReduceOp) float64 {
 		nr = &nodeRed{vals: make([]float64, n.threads), ch: make(chan struct{})}
 		n.nred[rid] = nr
 	}
-	nr.vals[lid] = v
+	nr.vals[w.lid] = v
 	nr.count++
 	last := nr.count == n.threads
 	var nodeVal float64
@@ -268,6 +355,7 @@ func (n *rnode) reduce(lid, id int, v float64, op core.ReduceOp) float64 {
 	case <-n.failCh:
 	}
 	n.tok.Lock()
+	n.setState(w, tsRunning)
 	n.checkFail()
 	if !nr.inv {
 		nr.inv = true

@@ -66,20 +66,20 @@ func (w *Worker) Yield() {
 }
 
 // Barrier implements cvm.Worker.
-func (w *Worker) Barrier(id int) { w.n.barrier(uint32(id)) }
+func (w *Worker) Barrier(id int) { w.n.barrier(w, uint32(id)) }
 
 // LocalBarrier implements cvm.Worker.
-func (w *Worker) LocalBarrier(id int) { w.n.localBarrier(uint32(id)) }
+func (w *Worker) LocalBarrier(id int) { w.n.localBarrier(w, uint32(id)) }
 
 // Lock implements cvm.Worker.
-func (w *Worker) Lock(id int) { w.n.lock(id) }
+func (w *Worker) Lock(id int) { w.n.lock(w, id) }
 
 // Unlock implements cvm.Worker.
-func (w *Worker) Unlock(id int) { w.n.unlock(id) }
+func (w *Worker) Unlock(id int) { w.n.unlock(w, id) }
 
 // ReduceF64 implements cvm.Worker.
 func (w *Worker) ReduceF64(id int, v float64, op core.ReduceOp) float64 {
-	return w.n.reduce(w.lid, id, v, op)
+	return w.n.reduce(w, id, v, op)
 }
 
 // read8 loads the 8-byte word at a: directly from the master copy when
@@ -94,7 +94,7 @@ func (w *Worker) read8(a core.Addr) uint64 {
 		n.hmu.Unlock()
 		return v
 	}
-	return binary.LittleEndian.Uint64(n.fetchPage(pg).data[off:])
+	return binary.LittleEndian.Uint64(n.fetchPage(w, pg).data[off:])
 }
 
 // write8 stores the 8-byte word at a. Self-homed pages are written at
@@ -111,7 +111,7 @@ func (w *Worker) write8(a core.Addr, v uint64) {
 		n.hmu.Unlock()
 		return
 	}
-	p := n.fetchPage(pg)
+	p := n.fetchPage(w, pg)
 	if p.twin == nil {
 		p.twin = append([]byte(nil), p.data...)
 		n.dirty = append(n.dirty, pg)

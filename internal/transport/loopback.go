@@ -38,6 +38,7 @@ func NewLoopback(nodes int) []Conn {
 	for i := range mesh {
 		c := &loopbackConn{self: NodeID(i), peers: mesh}
 		c.cond = sync.NewCond(&c.mu)
+		c.stats.Peers = make([]PeerStats, nodes)
 		mesh[i] = c
 	}
 	conns := make([]Conn, nodes)
@@ -72,6 +73,8 @@ func (c *loopbackConn) Send(m Message) error {
 	c.statsMu.Lock()
 	c.stats.Msgs[m.Class]++
 	c.stats.Bytes[m.Class] += int64(len(m.Payload))
+	c.stats.Peers[m.To].Msgs[m.Class]++
+	c.stats.Peers[m.To].Bytes[m.Class] += int64(len(m.Payload))
 	c.statsMu.Unlock()
 	return nil
 }
@@ -97,7 +100,9 @@ func (c *loopbackConn) Recv() (Message, error) {
 func (c *loopbackConn) Stats() Stats {
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()
-	return c.stats
+	out := c.stats
+	out.Peers = append([]PeerStats(nil), c.stats.Peers...)
+	return out
 }
 
 func (c *loopbackConn) Close() error {

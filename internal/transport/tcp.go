@@ -88,6 +88,7 @@ func (l *TCPListener) Mesh(addrs []string, timeout time.Duration) (Conn, error) 
 		conns: make([]*net.TCPConn, nodes),
 		outbx: make([]*outQueue, nodes),
 	}
+	c.stats.Peers = make([]PeerStats, nodes)
 	c.cond = sync.NewCond(&c.mu)
 	deadline := time.Now().Add(timeout)
 
@@ -246,6 +247,8 @@ func (c *tcpConn) Send(m Message) error {
 	c.statsMu.Lock()
 	c.stats.Msgs[m.Class]++
 	c.stats.Bytes[m.Class] += int64(len(m.Payload))
+	c.stats.Peers[m.To].Msgs[m.Class]++
+	c.stats.Peers[m.To].Bytes[m.Class] += int64(len(m.Payload))
 	c.statsMu.Unlock()
 	return nil
 }
@@ -273,7 +276,18 @@ func (c *tcpConn) Recv() (Message, error) {
 func (c *tcpConn) Stats() Stats {
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()
-	return c.stats
+	out := c.stats
+	out.Peers = append([]PeerStats(nil), c.stats.Peers...)
+	return out
+}
+
+// peerTraffic summarizes the sent-side traffic toward peer j for error
+// attribution ("after 42 msgs / 13807 bytes sent to peer").
+func (c *tcpConn) peerTraffic(j NodeID) string {
+	c.statsMu.Lock()
+	p := c.stats.Peers[j]
+	c.statsMu.Unlock()
+	return fmt.Sprintf("after %d msgs / %d bytes sent to peer", p.TotalMsgs(), p.TotalBytes())
 }
 
 // Close tears the mesh down gracefully: it stops accepting new sends,
@@ -331,8 +345,8 @@ func (c *tcpConn) writeLoop(j NodeID, conn *net.TCPConn, q *outQueue) {
 			return
 		}
 		if _, err := conn.Write(buf); err != nil {
-			c.fail(fmt.Errorf("tcp node %d -> node %d (%s): write: %w",
-				c.self, j, c.PeerAddr(j), err))
+			c.fail(fmt.Errorf("tcp node %d -> node %d (%s): write %s: %w",
+				c.self, j, c.PeerAddr(j), c.peerTraffic(j), err))
 			return
 		}
 	}
@@ -345,11 +359,11 @@ func (c *tcpConn) readLoop(j NodeID, conn *net.TCPConn) {
 		from, class, typ, payload, err := readFrame(conn)
 		if err != nil {
 			if err != io.EOF {
-				c.fail(fmt.Errorf("tcp node %d <- node %d (%s): read: %w",
-					c.self, j, c.PeerAddr(j), err))
+				c.fail(fmt.Errorf("tcp node %d <- node %d (%s): read %s: %w",
+					c.self, j, c.PeerAddr(j), c.peerTraffic(j), err))
 			} else {
-				c.fail(fmt.Errorf("tcp node %d <- node %d (%s): peer closed: %w",
-					c.self, j, c.PeerAddr(j), ErrClosed))
+				c.fail(fmt.Errorf("tcp node %d <- node %d (%s): peer closed %s: %w",
+					c.self, j, c.PeerAddr(j), c.peerTraffic(j), ErrClosed))
 			}
 			return
 		}

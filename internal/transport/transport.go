@@ -70,10 +70,51 @@ func Classes() []Class {
 	return cs
 }
 
-// Stats holds cumulative per-class message and byte counts.
+// Stats holds cumulative per-class message and byte counts, plus a
+// per-destination breakdown (Peers is indexed by destination NodeID;
+// the self entry stays zero).
 type Stats struct {
 	Msgs  [NumClasses]int64
 	Bytes [NumClasses]int64
+	Peers []PeerStats
+}
+
+// PeerStats is the sent-side traffic toward one destination node.
+type PeerStats struct {
+	Msgs  [NumClasses]int64
+	Bytes [NumClasses]int64
+}
+
+// TotalMsgs reports the peer's total message count across classes.
+func (p PeerStats) TotalMsgs() int64 {
+	var n int64
+	for _, m := range p.Msgs {
+		n += m
+	}
+	return n
+}
+
+// TotalBytes reports the peer's total payload bytes across classes.
+func (p PeerStats) TotalBytes() int64 {
+	var n int64
+	for _, b := range p.Bytes {
+		n += b
+	}
+	return n
+}
+
+// Equal reports whether two stats carry identical counts; it replaces
+// == comparison, which the Peers slice rules out.
+func (s Stats) Equal(o Stats) bool {
+	if s.Msgs != o.Msgs || s.Bytes != o.Bytes || len(s.Peers) != len(o.Peers) {
+		return false
+	}
+	for i := range s.Peers {
+		if s.Peers[i] != o.Peers[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TotalMsgs reports the total message count across classes.

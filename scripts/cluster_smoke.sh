@@ -6,8 +6,14 @@
 # $APPS, at test scale. The coordinator runs with -oracle, so every run
 # is checked bit for bit against the deterministic simulator's checksum;
 # any node error, checksum mismatch, or hang (60s timeout per control
-# step) fails the script. Mirrored in CI as the cluster-smoke job and
-# locally as `make cluster-smoke`.
+# step) fails the script.
+#
+# Every process also exposes its debug endpoint (-debug-addr), and a
+# scraper per node polls it live with `cvm-metrics scrape` until it
+# answers /healthz and serves a /metrics report with nonzero counters;
+# a node whose observability surface never comes up fails the script
+# even if the run itself succeeds. Mirrored in CI as the cluster-smoke
+# job and locally as `make cluster-smoke`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,10 +21,28 @@ cd "$(dirname "$0")/.."
 NODES=${NODES:-4}
 THREADS=${THREADS:-2}
 APPS=${APPS:-"sor waternsq"}
+SCRAPE_DEADLINE=${SCRAPE_DEADLINE:-30}
 
 bindir=$(mktemp -d)
 trap 'rm -rf "$bindir"' EXIT
 go build -o "$bindir/cvm-node" ./cmd/cvm-node
+go build -o "$bindir/cvm-metrics" ./cmd/cvm-metrics
+
+# scrape_until_live polls one node's debug endpoint until `cvm-metrics
+# scrape` passes (healthz ok, /metrics parses, counters nonzero), then
+# drops a marker file. The -debug-linger on each node keeps the
+# endpoint up after fast runs so the final counters stay scrapeable.
+scrape_until_live() {
+    local addr=$1 marker=$2
+    for _ in $(seq 1 $((SCRAPE_DEADLINE * 10))); do
+        if "$bindir/cvm-metrics" scrape -timeout 2s "$addr" >/dev/null 2>&1; then
+            touch "$marker"
+            return 0
+        fi
+        sleep 0.1
+    done
+    return 1
+}
 
 # pick_port finds a loopback port nothing is listening on. The race
 # between probing and binding is tolerable for a smoke test: a clash
@@ -39,14 +63,24 @@ for app in $APPS; do
     addr="127.0.0.1:$(pick_port)"
     echo "== cluster smoke: $app on $NODES processes x $THREADS threads ($addr) =="
 
+    markdir=$(mktemp -d)
+    scrapers=()
+    dbg0="127.0.0.1:$(pick_port)"
     "$bindir/cvm-node" -listen "$addr" -nodes "$NODES" -threads "$THREADS" \
-        -app "$app" -size test -oracle -timeout 60s &
+        -app "$app" -size test -oracle -timeout 60s \
+        -debug-addr "$dbg0" -debug-linger 8s &
     coord=$!
+    scrape_until_live "$dbg0" "$markdir/node0" &
+    scrapers+=($!)
     members=()
     for id in $(seq 1 $((NODES - 1))); do
+        dbg="127.0.0.1:$(pick_port)"
         "$bindir/cvm-node" -join "$addr" -node-id "$id" -nodes "$NODES" \
-            -timeout 60s -quiet &
+            -timeout 60s -quiet \
+            -debug-addr "$dbg" -debug-linger 8s &
         members+=($!)
+        scrape_until_live "$dbg" "$markdir/node$id" &
+        scrapers+=($!)
     done
 
     fail=0
@@ -54,6 +88,18 @@ for app in $APPS; do
     for pid in "${members[@]}"; do
         wait "$pid" || fail=1
     done
+    for pid in "${scrapers[@]}"; do
+        wait "$pid" || fail=1
+    done
+    for id in $(seq 0 $((NODES - 1))); do
+        if [ ! -f "$markdir/node$id" ]; then
+            echo "cluster smoke: $app: node $id debug endpoint never scraped live" >&2
+            fail=1
+        fi
+    done
+    scraped=$(ls "$markdir" | wc -l)
+    echo "   scraped live /metrics + /healthz from $scraped/$NODES processes"
+    rm -rf "$markdir"
     if [ "$fail" -ne 0 ]; then
         echo "cluster smoke: $app FAILED" >&2
         exit 1
