@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race golden-trace bench-smoke chaos par-check cluster-smoke scale-smoke metrics-gate diff-backends metrics-baseline perf-baseline scale-baseline
+.PHONY: check vet build test race cover golden-trace bench-smoke chaos par-check cluster-smoke scale-smoke metrics-gate diff-backends metrics-baseline perf-baseline scale-baseline
 
 ## check: the pre-commit gate (mirrors .github/workflows/ci.yml) — vet,
 ## build, race-test everything, verify the golden trace, a one-iteration
@@ -8,8 +8,9 @@ GO ?= go
 ## suite under fault injection, the windowed-engine determinism guard,
 ## the multi-process cluster smoke against the simulator oracle, the
 ## 256-node scale smoke, the metrics regression gate against the
-## committed baseline, and the sim-vs-real counter-equivalence gate.
-check: vet build race golden-trace bench-smoke chaos par-check cluster-smoke scale-smoke metrics-gate diff-backends
+## committed baseline, the sim-vs-real counter-equivalence gate, and the
+## per-package coverage floors.
+check: vet build race golden-trace bench-smoke chaos par-check cluster-smoke scale-smoke metrics-gate diff-backends cover
 	@echo "check: OK"
 
 vet:
@@ -23,6 +24,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## cover: per-package coverage floors (internal/core, internal/check).
+## Fails if statement coverage drops below the baselines recorded in
+## scripts/cover_gate.sh; raise a floor there when coverage rises.
+cover:
+	./scripts/cover_gate.sh
 
 ## golden-trace: the protocol event-order regression oracle. Regenerate
 ## with `go test ./internal/trace -run TestGoldenTrace -update` only for

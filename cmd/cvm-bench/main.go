@@ -8,7 +8,7 @@
 //	cvm-bench -experiment table5 -size paper
 //	cvm-bench -experiment fig1 -size test -metrics profile.json -report
 //
-// Experiments: costs, fig1, table2, table3, fig2, table4, table5, ablation, protocols, all.
+// Experiments: costs, fig1, table2, table3, fig2, table4, table5, ablation, protocols, adapt, all.
 //
 // Grid cells are independent simulations and run concurrently; -parallel N
 // caps the worker count (default: all CPUs; 1 reproduces the sequential
@@ -44,7 +44,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cvm-bench", flag.ContinueOnError)
 	var (
 		experiment = fs.String("experiment", "all",
-			"experiment to regenerate: costs, fig1, table2, table3, fig2, table4, table5, ablation, protocols, perf, scaleout, all")
+			"experiment to regenerate: costs, fig1, table2, table3, fig2, table4, table5, ablation, protocols, adapt, perf, scaleout, all")
 		size     = fs.String("size", "small", "input scale: test, small, paper")
 		quiet    = fs.Bool("q", false, "suppress progress output")
 		nodes16  = fs.Bool("with16", true, "include 16-node runs in table4")
@@ -190,6 +190,15 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		harness.WriteProtocols(out, rows, 8, 2)
+		fmt.Fprintln(out)
+	}
+
+	if want("adapt") {
+		rows, err := harness.CompareAdaptive(harness.AppOrder, sz, 8, 2, progress, *parallel)
+		if err != nil {
+			return err
+		}
+		harness.WriteAdaptive(out, rows, 8, 2)
 		fmt.Fprintln(out)
 	}
 

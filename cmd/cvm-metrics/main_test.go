@@ -285,3 +285,70 @@ func TestDiffBackendsRejectsSwappedArguments(t *testing.T) {
 		t.Errorf("swapped arguments = %v, want backend-identity error", err)
 	}
 }
+
+// TestDiffBackendsSuppressesStructurallyZero pins the suppression list
+// for the informational time-metrics table: metrics the real runtime
+// cannot record by construction (lock_3hop — centralized managers
+// answer every remote grant in two hops) are dropped when empty on the
+// real side, and printed when, against expectation, they are not.
+func TestDiffBackendsSuppressesStructurallyZero(t *testing.T) {
+	want := map[string]bool{"lock_3hop": true}
+	if len(structurallyZeroReal) != len(want) {
+		t.Errorf("suppression list = %v, want %v — update this pin alongside the list", structurallyZeroReal, want)
+	}
+	for name := range want {
+		if !structurallyZeroReal[name] {
+			t.Errorf("suppression list %v is missing %q", structurallyZeroReal, name)
+		}
+	}
+
+	dir := t.TempDir()
+	sim := writeBackendReport(t, dir, "sim.json", 10, 4, false)
+	real := writeBackendReport(t, dir, "real.json", 10, 4, true)
+
+	// The sim-side fixture observed a 3-hop grant; the real side cannot.
+	simRep, err := readReportFile(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRep.Snapshot.Nodes[0].Lock3Hop.Observe(7000)
+	var buf bytes.Buffer
+	if err := simRep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sim, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"diff-backends", sim, real}, &out); err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "lock_3hop") {
+		t.Errorf("structurally-zero lock_3hop printed in the info table:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "fault_service") {
+		t.Errorf("genuinely observed metric missing from the info table:\n%s", out.String())
+	}
+
+	// A real backend that somehow records a 3-hop grant is news: print it.
+	realRep, err := readReportFile(real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realRep.Snapshot.Nodes[0].Lock3Hop.Observe(9000)
+	buf.Reset()
+	if err := realRep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(real, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"diff-backends", sim, real}, &out); err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "lock_3hop") {
+		t.Errorf("unexpected real-side lock_3hop suppressed:\n%s", out.String())
+	}
+}

@@ -67,6 +67,29 @@ type lockHolder struct {
 	node, thread int32
 }
 
+// pageEpoch keys the cluster-wide mode agreement per adaptation epoch.
+type pageEpoch struct {
+	page  int32
+	epoch int64
+}
+
+// modeDecl is the content of one mode-change notice: every node that
+// applies epoch E for page P must apply the same declaration.
+type modeDecl struct {
+	mode  int64
+	owner int32
+}
+
+// migration tracks one in-flight thread migration.
+type migration struct {
+	src, dst int32
+}
+
+// modeExcl mirrors core.ModeExcl (trace events carry the numeric mode
+// in Arg; importing core here would invert the dependency). Pinned by
+// TestModeValueMirrorsCore.
+const modeExcl = 2
+
 // barrierState tracks one global barrier id across epochs. Epochs of
 // the same id are sequential, but releases of epoch k can interleave
 // with arrivals of epoch k+1 (a released node races ahead while another
@@ -92,14 +115,23 @@ type Checker struct {
 	violations []Violation
 	total      int
 
-	intervalIdx []int64                   // per node: highest interval idx seen closing
-	twins       map[nodePage]bool         // outstanding twin per (node, page)
-	diffsMade   map[diffKey]bool          // diffs created, for uniqueness
-	appliedIdx  map[pagePeer]int64        // highest interval idx applied per (node,page,peer)
+	intervalIdx []int64                    // per node: highest interval idx seen closing
+	twins       map[nodePage]bool          // outstanding twin per (node, page)
+	diffsMade   map[diffKey]bool           // diffs created, for uniqueness
+	appliedIdx  map[pagePeer]int64         // highest interval idx applied per (node,page,peer)
 	applied     map[diffKey]map[int32]bool // diff → set of nodes that applied it
-	lockHeld    map[int32]lockHolder      // lock id → holder
+	lockHeld    map[int32]lockHolder       // lock id → holder
 	barriers    map[int32]*barrierState
 	localBars   map[nodePage]*localBarrierState // (node, barrier id)
+
+	// Adaptive-coherence state. All maps stay empty for plain LRC runs
+	// (the kinds below are never emitted), so the checker costs nothing
+	// extra there.
+	modeEpoch map[nodePage]int64     // last mode-change epoch applied
+	modeAt    map[pageEpoch]modeDecl // cluster-wide declaration per epoch
+	exclSpan  map[nodePage]bool      // owner holds an unopened/open excl grant
+	homes     map[int32]int32        // thread gid → home node
+	inflight  map[int32]migration    // thread gid → migration under way
 }
 
 // New returns a Checker for a cluster of the given shape.
@@ -115,6 +147,11 @@ func New(nodes, threadsPerNode int) *Checker {
 		lockHeld:    make(map[int32]lockHolder),
 		barriers:    make(map[int32]*barrierState),
 		localBars:   make(map[nodePage]*localBarrierState),
+		modeEpoch:   make(map[nodePage]int64),
+		modeAt:      make(map[pageEpoch]modeDecl),
+		exclSpan:    make(map[nodePage]bool),
+		homes:       make(map[int32]int32),
+		inflight:    make(map[int32]migration),
 	}
 }
 
@@ -130,6 +167,29 @@ func (c *Checker) violate(e trace.Event, page int32, invariant, format string, a
 
 // Emit audits one event. It implements trace.Tracer.
 func (c *Checker) Emit(e trace.Event) {
+	// migrate-single-home: a thread acts only on its home node, and
+	// never while its continuation is in flight between nodes. Audited
+	// on the kinds that carry a global thread id attributed to the
+	// emitting node.
+	switch e.Kind {
+	case trace.KindFaultStart, trace.KindFaultResolve,
+		trace.KindLockAcquire, trace.KindLockRelease,
+		trace.KindBarrierArrive, trace.KindThreadBlock, trace.KindThreadUnblock:
+		if e.Thread >= 0 {
+			if m, ok := c.inflight[e.Thread]; ok {
+				c.violate(e, -1, "migrate-single-home",
+					"thread %d acted on node %d while migrating %d→%d",
+					e.Thread, e.Node, m.src, m.dst)
+			} else if home, ok := c.homes[e.Thread]; !ok {
+				c.homes[e.Thread] = e.Node
+			} else if home != e.Node {
+				c.violate(e, -1, "migrate-single-home",
+					"thread %d acted on node %d, homed on node %d without a migration",
+					e.Thread, e.Node, home)
+			}
+		}
+	}
+
 	switch e.Kind {
 	case trace.KindTwinCreate:
 		// twin-unique: at most one outstanding twin per (node, page) —
@@ -165,6 +225,13 @@ func (c *Checker) Emit(e trace.Event) {
 			c.violate(e, e.Page, "twin-diff-pairing", "diff created with no outstanding twin")
 		}
 		delete(c.twins, key)
+		// excl-no-diff: an exclusive owner absorbs writes without the
+		// twin/diff machinery; a diff between the grant and the window
+		// close means the single-writer fast path leaked an interval.
+		if c.exclSpan[key] {
+			c.violate(e, e.Page, "excl-no-diff",
+				"diff created inside an exclusive-mode window")
+		}
 
 	case trace.KindDiffApply:
 		// diff-apply-once: a node never applies the same diff twice —
@@ -266,6 +333,72 @@ func (c *Checker) Emit(e trace.Event) {
 			return
 		}
 		b.outstanding--
+
+	case trace.KindModeChange:
+		// mode-epoch-monotone: a node applies mode changes for a page in
+		// strictly increasing adaptation-epoch order — a replayed or
+		// reordered notice would roll a page's protocol backwards.
+		key := nodePage{e.Node, e.Page}
+		if last, ok := c.modeEpoch[key]; ok && e.Aux <= last {
+			c.violate(e, e.Page, "mode-epoch-monotone",
+				"mode change for epoch %d applied after epoch %d", e.Aux, last)
+		} else {
+			c.modeEpoch[key] = e.Aux
+		}
+		// mode-agree: every node that applies epoch E for a page applies
+		// the same (mode, owner) declaration — the notices are a
+		// broadcast, and a disagreement forks the coherence protocol.
+		pe := pageEpoch{e.Page, e.Aux}
+		decl := modeDecl{mode: e.Arg, owner: e.Peer}
+		if prev, ok := c.modeAt[pe]; !ok {
+			c.modeAt[pe] = decl
+		} else if prev != decl {
+			c.violate(e, e.Page, "mode-agree",
+				"epoch %d declares mode %d owner %d here, mode %d owner %d elsewhere",
+				e.Aux, decl.mode, decl.owner, prev.mode, prev.owner)
+		}
+		// excl-no-diff bookkeeping: a grant opens the forbidden span at
+		// the owner; any change away from exclusive ends it (the window,
+		// if it ever opened, was closed before this notice was emitted).
+		if e.Arg == modeExcl && e.Peer == e.Node {
+			c.exclSpan[key] = true
+		} else {
+			delete(c.exclSpan, key)
+		}
+
+	case trace.KindExclWindowClose:
+		// The owner committed its absorbed writes back onto the interval
+		// machinery; diffs for the page are legitimate again.
+		delete(c.exclSpan, nodePage{e.Node, e.Page})
+
+	case trace.KindMigrateStart:
+		if m, ok := c.inflight[e.Thread]; ok {
+			c.violate(e, -1, "migrate-single-home",
+				"thread %d re-migrated (%d→%d) while already in flight %d→%d",
+				e.Thread, e.Node, e.Peer, m.src, m.dst)
+			return
+		}
+		if home, ok := c.homes[e.Thread]; ok && home != e.Node {
+			c.violate(e, -1, "migrate-single-home",
+				"thread %d migrated out of node %d but is homed on node %d",
+				e.Thread, e.Node, home)
+		}
+		delete(c.homes, e.Thread)
+		c.inflight[e.Thread] = migration{src: e.Node, dst: e.Peer}
+
+	case trace.KindMigrateArrive:
+		m, ok := c.inflight[e.Thread]
+		if !ok {
+			c.violate(e, -1, "migrate-single-home",
+				"thread %d arrived at node %d with no migration in flight",
+				e.Thread, e.Node)
+		} else if m.dst != e.Node || m.src != e.Peer {
+			c.violate(e, -1, "migrate-single-home",
+				"thread %d arrived %d→%d, migration in flight was %d→%d",
+				e.Thread, e.Peer, e.Node, m.src, m.dst)
+		}
+		delete(c.inflight, e.Thread)
+		c.homes[e.Thread] = e.Node
 	}
 }
 
@@ -286,6 +419,10 @@ func (c *Checker) Finish() {
 				"run ended with local barrier %d on node %d mid-epoch: %d arrivals pending",
 				key.page, key.node, lb.arrived)
 		}
+	}
+	for gid, m := range c.inflight {
+		c.violate(trace.Event{Node: m.src}, -1, "migrate-single-home",
+			"run ended with thread %d still in flight %d→%d", gid, m.src, m.dst)
 	}
 }
 

@@ -48,10 +48,13 @@ func (t *Thread) Barrier(id int) {
 		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindBarrierArrive,
 			Node: int32(n.id), Thread: int32(t.gid), Sync: int32(id)})
 	}
-	if b.arrived < n.sys.cfg.ThreadsPerNode {
+	if b.arrived < n.resident {
 		b.waiters = append(b.waiters, t)
 		t.block(ReasonBarrier)
-		if nm := n.met; nm != nil {
+		// Re-read the node through the thread: a migration order may have
+		// re-homed it while it was blocked, and its stall belongs to the
+		// node it resumed on.
+		if nm := t.node.met; nm != nil {
 			nm.BarrierStall.Observe(int64(t.task.Now() - a0))
 		}
 		return
@@ -62,29 +65,45 @@ func (t *Thread) Barrier(id int) {
 	sys := t.sys
 	const mgr = 0
 	vt := n.vt.Clone()
+	obs := n.takeAdaptObs() // nil unless adaptive coherence is on
 	b.waiters = append(b.waiters, t)
 	if n.id == mgr {
 		// The manager's own arrival is deferred to engine context so
 		// that, if it is the global last arrival, the release logic
 		// finds every waiter (including this thread) already blocked.
+		// Queued update pushes flush in barrierArrival, after the
+		// release broadcast.
 		t.task.Schedule(t.task.Now(), func() {
+			if obs != nil {
+				sys.adapt.noteObs(mgr, obs)
+			}
 			sys.barrierArrival(id, mgr, vt)
 		})
 		t.block(ReasonBarrier)
-		if nm := n.met; nm != nil {
+		if nm := t.node.met; nm != nil {
 			nm.BarrierStall.Observe(int64(t.task.Now() - a0))
 		}
 		return
 	}
 	infos := n.ownInfosSince() // manager learns our new intervals
-	bytes := barrierMsgBytes + vt.wireBytes() + infosBytes(infos)
+	bytes := barrierMsgBytes + vt.wireBytes() + infosBytes(infos) + obs.wireBytes()
 	sys.sendFromTask(t.task, NodeID(n.id), NodeID(mgr),
 		ClassBarrier, bytes, func() {
 			sys.nodes[mgr].applyInfos(infos, nil)
+			if obs != nil {
+				sys.adapt.noteObs(n.id, obs)
+			}
 			sys.barrierArrival(id, n.id, vt)
 		})
+	// Queued update pushes flush in engine context behind the departed
+	// arrival message: subscriber caches fill while the cluster is
+	// barrier-waiting, and the blocked thread's clock never advances
+	// (the release may arrive while the flush is still draining egress).
+	if len(n.pendingPush) > 0 {
+		t.task.Schedule(t.task.Now(), func() { n.flushPushes(nil) })
+	}
 	t.block(ReasonBarrier)
-	if nm := n.met; nm != nil {
+	if nm := t.node.met; nm != nil {
 		nm.BarrierStall.Observe(int64(t.task.Now() - a0))
 	}
 }
@@ -120,10 +139,23 @@ func (s *System) barrierArrival(id, from int, vt VClock) {
 	}
 	ep.arrived++
 	ep.arrivalVT[from] = vt
-	if ep.arrived < s.cfg.Nodes {
+	need := s.cfg.Nodes
+	if s.adapt != nil {
+		// Migration can empty a node; emptied nodes send no arrival.
+		need = s.adapt.occupied()
+	}
+	if ep.arrived < need {
 		return
 	}
 	delete(s.episodes, id)
+
+	// The barrier completion is the adaptation point: all threads are
+	// blocked, so mode changes and migration orders piggybacked on the
+	// releases apply atomically across the cluster.
+	var rel *adaptRelease
+	if s.adapt != nil {
+		rel = s.adapt.decide()
+	}
 
 	mgr := s.nodes[0]
 	// The manager has merged every node's interval knowledge (arrivals
@@ -133,17 +165,35 @@ func (s *System) barrierArrival(id, from int, vt VClock) {
 			continue
 		}
 		nodeID := nodeID
-		infos := mgr.newInfosSince(ep.arrivalVT[nodeID])
-		bytes := barrierMsgBytes + mgr.vt.wireBytes() + infosBytes(infos)
+		avt := ep.arrivalVT[nodeID]
+		if avt == nil && s.adapt != nil {
+			// Emptied node: it has learned exactly what its previous
+			// release carried.
+			avt = s.adapt.arrivalVT(nodeID, avt)
+		}
+		infos := mgr.newInfosSince(avt)
+		bytes := barrierMsgBytes + mgr.vt.wireBytes() + infosBytes(infos) + rel.wireBytes()
 		mgrVT := mgr.vt.Clone()
 		s.sendFromHandler(NodeID(0), NodeID(nodeID),
 			ClassBarrier, bytes, func() {
 				n := s.nodes[nodeID]
 				n.applyInfos(infos, mgrVT)
+				if rel != nil {
+					n.applyAdaptRelease(id, rel)
+				}
 				n.releaseBarrier(id)
 			})
 	}
+	if s.adapt != nil {
+		if rel != nil {
+			mgr.applyAdaptRelease(id, rel)
+		}
+		s.adapt.recordRelease(mgr.vt)
+	}
 	mgr.releaseBarrier(id)
+	// The manager's own update pushes flush last: the release broadcast
+	// above must not queue behind bulk data on the manager's egress.
+	mgr.flushPushes(nil)
 }
 
 // releaseBarrier wakes every local thread blocked at the barrier. It
@@ -169,6 +219,10 @@ func (n *node) releaseBarrier(id int) {
 // paper's `r` source modification (per-node reduction aggregation).
 func (t *Thread) LocalBarrier(id int) {
 	n := t.node
+	if t.sys.adapt != nil {
+		// Local-barrier users depend on co-location; never migrate them.
+		t.pinned = true
+	}
 	key := localBarrierKeyBase + id
 	b := n.barrierAt(key)
 	b.arrived++
@@ -180,7 +234,7 @@ func (t *Thread) LocalBarrier(id int) {
 		tr.Emit(trace.Event{T: t.task.Now(), Kind: trace.KindBarrierArrive,
 			Node: int32(n.id), Thread: int32(t.gid), Sync: int32(id), Aux: 1})
 	}
-	if b.arrived < n.sys.cfg.ThreadsPerNode {
+	if b.arrived < n.resident {
 		b.waiters = append(b.waiters, t)
 		t.block(ReasonBarrier)
 		if nm := n.met; nm != nil {

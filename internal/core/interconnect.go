@@ -26,6 +26,8 @@ const (
 	ClassBarrier = transport.ClassBarrier
 	ClassLock    = transport.ClassLock
 	ClassDiff    = transport.ClassDiff
+	ClassUpdate  = transport.ClassUpdate
+	ClassMigrate = transport.ClassMigrate
 )
 
 // Interconnect is the virtual-time, closure-level transport contract the

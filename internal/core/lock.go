@@ -213,14 +213,15 @@ func (n *node) grantLock(l *lockState, to int, reqVT VClock, hops uint8) {
 	sys := n.sys
 	sys.sendFromHandler(NodeID(n.id), NodeID(to),
 		ClassLock, bytes, func() {
-			sys.nodes[to].handleLockGrant(l.id, infos, vt, hops)
+			sys.nodes[to].handleLockGrant(l.id, n.id, infos, vt, hops)
 		})
 }
 
 // handleLockGrant runs at the original requester (engine context): apply
 // the piggybacked consistency information and hand the lock to the first
-// queued local thread.
-func (n *node) handleLockGrant(id int, infos []*IntervalInfo, senderVT VClock, hops uint8) {
+// queued local thread. from is the granting node, credited to the woken
+// thread's migration affinity.
+func (n *node) handleLockGrant(id, from int, infos []*IntervalInfo, senderVT VClock, hops uint8) {
 	l := n.lockAt(id)
 	l.grantHops = hops
 	n.applyInfos(infos, senderVT)
@@ -234,6 +235,9 @@ func (n *node) handleLockGrant(id int, infos []*IntervalInfo, senderVT VClock, h
 	next := l.localQ[0]
 	l.localQ = l.localQ[:copy(l.localQ, l.localQ[1:])]
 	l.heldBy = next
+	if next.affinity != nil && from != n.id {
+		next.affinity[from]++
+	}
 	n.sys.eng.Wake(next.task)
 }
 
@@ -262,6 +266,7 @@ func (t *Thread) Unlock(id int) {
 		l.localQ = l.localQ[:copy(l.localQ, l.localQ[1:])]
 		l.heldBy = next
 		t.sys.eng.WakeAt(next.task, t.task.Now())
+		n.flushPushes(t)
 		return
 	}
 	l.heldBy = nil
@@ -275,10 +280,12 @@ func (t *Thread) Unlock(id int) {
 		sys := t.sys
 		sys.sendFromTask(t.task, NodeID(n.id), NodeID(to),
 			ClassLock, bytes, func() {
-				sys.nodes[to].handleLockGrant(id, infos, myVT, hops)
+				sys.nodes[to].handleLockGrant(id, n.id, infos, myVT, hops)
 			})
 	}
-	// Otherwise the token stays cached here, free.
+	// Update pushes depart behind the grant (or immediately, when the
+	// token stays cached): the release-critical path never waits on them.
+	n.flushPushes(t)
 }
 
 // lockMsgBytes is the header size of lock protocol messages.

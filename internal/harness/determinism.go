@@ -36,6 +36,17 @@ type DeterminismProbe struct {
 // given worker count (engineWorkers ≥ 1) and collects its artifacts.
 // fp may be nil for a fault-free run.
 func RunDeterminismProbe(app string, size apps.Size, nodes, threads, engineWorkers int, fp *cvm.FaultPlan) (*DeterminismProbe, error) {
+	return runDeterminismProbe(app, size, nodes, threads, engineWorkers, false, fp)
+}
+
+// RunDeterminismProbeAdaptive is RunDeterminismProbe with adaptive
+// coherence switched on (and thread migration, when the application
+// tolerates re-homing).
+func RunDeterminismProbeAdaptive(app string, size apps.Size, nodes, threads, engineWorkers int, fp *cvm.FaultPlan) (*DeterminismProbe, error) {
+	return runDeterminismProbe(app, size, nodes, threads, engineWorkers, true, fp)
+}
+
+func runDeterminismProbe(app string, size apps.Size, nodes, threads, engineWorkers int, adaptive bool, fp *cvm.FaultPlan) (*DeterminismProbe, error) {
 	reg := cvm.NewMetrics()
 	rec := trace.NewRecorder(nodes, threads, 0)
 	cfg := cvm.DefaultConfig(nodes, threads)
@@ -43,6 +54,10 @@ func RunDeterminismProbe(app string, size apps.Size, nodes, threads, engineWorke
 	cfg.Metrics = reg
 	cfg.Tracer = rec
 	cfg.Faults = fp
+	if adaptive {
+		cfg.Adapt = true
+		cfg.Migrate = apps.Migratable(app)
+	}
 	stats, sum, err := apps.RunConfigFull(app, size, cfg, 0)
 	if err != nil {
 		return nil, fmt.Errorf("harness: probe %s workers=%d: %w", app, engineWorkers, err)
@@ -71,15 +86,29 @@ func RunDeterminismProbe(app string, size apps.Size, nodes, threads, engineWorke
 // returns an error describing the first artifact that differs from the
 // first count's run; nil means every artifact was byte-identical.
 func GuardDeterminism(app string, size apps.Size, nodes, threads int, workerCounts []int, fp *cvm.FaultPlan) error {
+	return guardDeterminism(app, size, nodes, threads, workerCounts, false, fp)
+}
+
+// GuardDeterminismAdaptive is GuardDeterminism with adaptive coherence
+// (and migration, for migration-safe apps) enabled on every probe: the
+// classifier's decisions, the mode-change notices, and the migration
+// orders must themselves be functions of the deterministic event order,
+// so every artifact stays byte-identical across worker counts. Repeat a
+// count in workerCounts to additionally assert run-to-run identity.
+func GuardDeterminismAdaptive(app string, size apps.Size, nodes, threads int, workerCounts []int, fp *cvm.FaultPlan) error {
+	return guardDeterminism(app, size, nodes, threads, workerCounts, true, fp)
+}
+
+func guardDeterminism(app string, size apps.Size, nodes, threads int, workerCounts []int, adaptive bool, fp *cvm.FaultPlan) error {
 	if len(workerCounts) < 2 {
 		return fmt.Errorf("harness: determinism guard needs at least two worker counts, got %v", workerCounts)
 	}
-	base, err := RunDeterminismProbe(app, size, nodes, threads, workerCounts[0], fp)
+	base, err := runDeterminismProbe(app, size, nodes, threads, workerCounts[0], adaptive, fp)
 	if err != nil {
 		return err
 	}
 	for _, w := range workerCounts[1:] {
-		p, err := RunDeterminismProbe(app, size, nodes, threads, w, fp)
+		p, err := runDeterminismProbe(app, size, nodes, threads, w, adaptive, fp)
 		if err != nil {
 			return err
 		}

@@ -34,6 +34,8 @@ const (
 	ClassBarrier = transport.ClassBarrier
 	ClassLock    = transport.ClassLock
 	ClassDiff    = transport.ClassDiff
+	ClassUpdate  = transport.ClassUpdate
+	ClassMigrate = transport.ClassMigrate
 	numClasses   = transport.NumClasses
 )
 
@@ -111,6 +113,17 @@ type Network struct {
 	egressFree  []sim.Time // per-node time the NIC egress frees up
 	ingressFree []sim.Time // per-node time the ingress frees up
 
+	// bulkEgressFree/bulkIngressFree serialize unsolicited bulk data
+	// (ClassUpdate) on its own per-node lane at both ends: the dedicated
+	// protocol thread the paper argues for on SMP nodes ships and absorbs
+	// pushed updates without occupying the request/reply path, so eager
+	// data neither delays a blocked node's next fault request at the
+	// egress nor head-of-line blocks a barrier release or fault reply at
+	// the ingress. Bulk transfers still pay the per-message overheads and
+	// serialize against each other.
+	bulkEgressFree  []sim.Time
+	bulkIngressFree []sim.Time
+
 	stats  Stats
 	tracer trace.Tracer        // nil when tracing is off
 	met    *metrics.NetMetrics // nil when metrics are off
@@ -158,12 +171,14 @@ func New(eng *sim.Engine, nodes int, params Params) *Network {
 // previous state. It exists so a Network can be embedded by value in a
 // larger system; egress and ingress share one backing allocation.
 func (n *Network) Init(eng *sim.Engine, nodes int, params Params) {
-	free := make([]sim.Time, 2*nodes)
+	free := make([]sim.Time, 4*nodes)
 	*n = Network{
-		eng:         eng,
-		params:      params,
-		egressFree:  free[:nodes:nodes],
-		ingressFree: free[nodes:],
+		eng:             eng,
+		params:          params,
+		egressFree:      free[:nodes:nodes],
+		ingressFree:     free[nodes : 2*nodes : 2*nodes],
+		bulkEgressFree:  free[2*nodes : 3*nodes : 3*nodes],
+		bulkIngressFree: free[3*nodes:],
 	}
 }
 
@@ -220,11 +235,12 @@ func (n *Network) SendFromTask(t *sim.Task, from, to NodeID, class Class, bytes 
 		panic("netsim: SendFromTask with from == to")
 	}
 	t.Advance(n.params.SendOverhead)
-	depart := maxTime(t.Now(), n.egressFree[from])
+	lane := n.egressLane(class)
+	depart := maxTime(t.Now(), lane[from])
 	if n.deferred {
 		wait := depart - t.Now()
 		depart += n.params.transfer(bytes)
-		n.egressFree[from] = depart
+		lane[from] = depart
 		n.outbox[from] = append(n.outbox[from], wireMsg{
 			sendT: t.Now(), depart: depart, egressWait: wait,
 			to: to, class: class, bytes: bytes, deliver: deliver})
@@ -234,7 +250,7 @@ func (n *Network) SendFromTask(t *sim.Task, from, to NodeID, class Class, bytes 
 		n.met.EgressWait[class].Observe(int64(depart - t.Now()))
 	}
 	depart += n.params.transfer(bytes)
-	n.egressFree[from] = depart
+	lane[from] = depart
 	if n.faults != nil {
 		// Task.Schedule (via the closure) lowers the sender's causality
 		// horizon exactly as the reliable path below does.
@@ -254,29 +270,40 @@ func (n *Network) SendFromHandler(from, to NodeID, class Class, bytes int, deliv
 	if from == to {
 		panic("netsim: SendFromHandler with from == to")
 	}
+	lane := n.egressLane(class)
 	if n.deferred {
 		now := n.eng.Procs()[int(from)].LocalNow()
-		depart := maxTime(now, n.egressFree[from])
+		depart := maxTime(now, lane[from])
 		wait := depart - now
 		depart += n.params.SendOverhead + n.params.transfer(bytes)
-		n.egressFree[from] = depart
+		lane[from] = depart
 		n.outbox[from] = append(n.outbox[from], wireMsg{
 			sendT: now, depart: depart, egressWait: wait,
 			to: to, class: class, bytes: bytes, deliver: deliver})
 		return
 	}
-	depart := maxTime(n.eng.Now(), n.egressFree[from])
+	depart := maxTime(n.eng.Now(), lane[from])
 	if n.met != nil {
 		n.met.EgressWait[class].Observe(int64(depart - n.eng.Now()))
 	}
 	depart += n.params.SendOverhead + n.params.transfer(bytes)
-	n.egressFree[from] = depart
+	lane[from] = depart
 	if n.faults != nil {
 		n.faultedSend(depart, from, to, class, bytes, deliver, n.eng.Schedule)
 		return
 	}
 	handlerAt := n.arrival(depart, from, to, class, bytes, 0)
 	n.eng.Schedule(handlerAt, deliver)
+}
+
+// egressLane returns the per-node egress serializer for a message class:
+// the protocol processor's bulk lane for unsolicited updates, the main
+// NIC path for everything else.
+func (n *Network) egressLane(class Class) []sim.Time {
+	if class == ClassUpdate {
+		return n.bulkEgressFree
+	}
+	return n.egressFree
 }
 
 // arrival accounts the message and computes when its handler runs at the
@@ -289,8 +316,12 @@ func (n *Network) arrival(depart sim.Time, from, to NodeID, class Class, bytes i
 	n.stats.Msgs[class]++
 	n.stats.Bytes[class] += int64(bytes)
 	arrive := depart + n.params.WireLatency
-	handlerAt := maxTime(arrive, n.ingressFree[to]) + n.params.RecvOverhead
-	n.ingressFree[to] = handlerAt
+	lane := n.ingressFree
+	if class == ClassUpdate {
+		lane = n.bulkIngressFree
+	}
+	handlerAt := maxTime(arrive, lane[to]) + n.params.RecvOverhead
+	lane[to] = handlerAt
 	handlerAt += extra
 	if n.met != nil {
 		n.met.Latency[class].Observe(int64(handlerAt - depart))

@@ -42,6 +42,12 @@ const (
 	ClassBarrier Class = iota
 	ClassLock
 	ClassDiff
+	// ClassUpdate carries eager diff pushes for pages running in the
+	// adaptive update mode (producer→subscriber, no request leg).
+	ClassUpdate
+	// ClassMigrate carries a thread's continuation state when the
+	// adaptive controller re-homes it next to its hottest pages.
+	ClassMigrate
 	NumClasses // count sentinel; keep last
 )
 
@@ -54,6 +60,10 @@ func (c Class) String() string {
 		return "Lock"
 	case ClassDiff:
 		return "Diff"
+	case ClassUpdate:
+		return "Update"
+	case ClassMigrate:
+		return "Migrate"
 	default:
 		return fmt.Sprintf("Class(%d)", uint8(c))
 	}
